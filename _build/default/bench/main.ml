@@ -1,0 +1,192 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation (the
+   same registry `bin/experiments.exe` exposes) — this is the output that
+   EXPERIMENTS.md records against the paper.
+
+   Part 2 times one representative kernel per table/figure with Bechamel, so
+   regressions in the harness itself are visible: each kernel is the
+   dominant simulation workload behind the corresponding experiment, scaled
+   to microbenchmark size. *)
+
+open Bechamel
+open Toolkit
+
+(* --- part 2: one Bechamel kernel per table/figure -------------------------- *)
+
+let compile_once workload = Workload.compile workload
+
+let pt_compiled = lazy (compile_once Registry.print_tokens)
+let pt2_ccured =
+  lazy (Workload.compile ~detector:Codegen.Ccured ~bug:10 Registry.print_tokens2)
+let sched_compiled = lazy (compile_once Registry.schedule)
+
+let run_engine ?(mode = Pe_config.Standard) compiled (workload : Workload.t) =
+  let machine =
+    Machine.create ~input:workload.Workload.default_input
+      compiled.Compile.program
+  in
+  Engine.run ~config:(Workload.pe_config ~mode workload) machine
+
+let bench_fig1 () =
+  (* one detection run of the Figure 1 bug under CCured + PathExpander *)
+  run_engine (Lazy.force pt2_ccured) Registry.print_tokens2
+
+let bench_fig3 () =
+  (* the crash-latency collection kernel: cold-edge spawning, no fixing *)
+  let compiled = Lazy.force sched_compiled in
+  let machine =
+    Machine.create ~input:Registry.schedule.Workload.default_input
+      compiled.Compile.program
+  in
+  Engine.run ~config:Pe_config.latency_study machine
+
+let bench_tab2 () = Machine_config.to_rows Machine_config.default
+
+let bench_tab3 () =
+  (* Table 3's LOC column: source generation + line counting *)
+  List.map Workload.loc Registry.buggy_apps
+
+let bench_tab4 () =
+  (* one bug-detection verdict *)
+  let compiled = Lazy.force pt2_ccured in
+  let machine =
+    Machine.create ~input:Registry.print_tokens2.Workload.default_input
+      compiled.Compile.program
+  in
+  let result =
+    Engine.run ~config:(Workload.pe_config Registry.print_tokens2) machine
+  in
+  ignore result;
+  Analysis.analyze ~compiled ~machine
+    ~bug:(Workload.find_bug Registry.print_tokens2 10)
+
+let tab5_nofix =
+  lazy
+    (Workload.compile ~detector:Codegen.Ccured ~fixing:false ~bug:10
+       Registry.print_tokens2)
+
+let bench_tab5 () =
+  (* the before-fixing configuration of Table 5 *)
+  let compiled = Lazy.force tab5_nofix in
+  let machine =
+    Machine.create ~input:Registry.print_tokens2.Workload.default_input
+      compiled.Compile.program
+  in
+  let config =
+    { (Workload.pe_config Registry.print_tokens2) with Pe_config.fixing = false }
+  in
+  Engine.run ~config machine
+
+let bench_cov1 () =
+  (* a coverage measurement run *)
+  run_engine (Lazy.force pt_compiled) Registry.print_tokens
+
+let cov2_rng = Rng.create 5
+
+let bench_cov2 () =
+  (* one generated-input run of the cumulative-coverage loop *)
+  let compiled = Lazy.force pt_compiled in
+  let input = Registry.print_tokens.Workload.gen_input cov2_rng in
+  let machine = Machine.create ~input compiled.Compile.program in
+  Engine.run ~config:(Workload.pe_config Registry.print_tokens) machine
+
+let bench_ovh1 () =
+  (* the CMP-option run of the overhead table *)
+  run_engine ~mode:Pe_config.Cmp (Lazy.force sched_compiled) Registry.schedule
+
+let bench_ovh2 () =
+  (* the software-PathExpander run of the HW/SW comparison *)
+  let compiled = Lazy.force pt_compiled in
+  let machine =
+    Machine.create ~input:Registry.print_tokens.Workload.default_input
+      compiled.Compile.program
+  in
+  Soft_engine.run ~config:(Workload.pe_config Registry.print_tokens) machine
+
+let bench_par1 () =
+  (* one sweep point of the parameter study *)
+  let compiled = Lazy.force sched_compiled in
+  let machine =
+    Machine.create ~input:Registry.schedule.Workload.default_input
+      compiled.Compile.program
+  in
+  let config =
+    {
+      (Workload.pe_config Registry.schedule) with
+      Pe_config.nt_counter_threshold = 8;
+    }
+  in
+  Engine.run ~config machine
+
+let bench_abl1 () =
+  (* the forced-edge ablation configuration *)
+  let compiled = Lazy.force sched_compiled in
+  let machine =
+    Machine.create ~input:Registry.schedule.Workload.default_input
+      compiled.Compile.program
+  in
+  let config =
+    {
+      (Workload.pe_config Registry.schedule) with
+      Pe_config.follow_nontaken_in_nt = true;
+    }
+  in
+  Engine.run ~config machine
+
+let kernels =
+  Test.make_grouped ~name:"pathexpander"
+    [
+      Test.make ~name:"fig1-detection-run" (Staged.stage bench_fig1);
+      Test.make ~name:"fig3-latency-study" (Staged.stage bench_fig3);
+      Test.make ~name:"tab2-config-rows" (Staged.stage bench_tab2);
+      Test.make ~name:"tab3-loc-count" (Staged.stage bench_tab3);
+      Test.make ~name:"tab4-bug-verdict" (Staged.stage bench_tab4);
+      Test.make ~name:"tab5-before-fixing" (Staged.stage bench_tab5);
+      Test.make ~name:"cov1-coverage-run" (Staged.stage bench_cov1);
+      Test.make ~name:"cov2-generated-input" (Staged.stage bench_cov2);
+      Test.make ~name:"ovh1-cmp-run" (Staged.stage bench_ovh1);
+      Test.make ~name:"ovh2-software-pe" (Staged.stage bench_ovh2);
+      Test.make ~name:"par1-sweep-point" (Staged.stage bench_par1);
+      Test.make ~name:"abl1-forced-edges" (Staged.stage bench_abl1);
+    ]
+
+let run_bechamel () =
+  print_endline "\n=== Bechamel micro-benchmarks (one kernel per table/figure) ===";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] kernels in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> est
+          | Some _ | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Table.print
+    ~aligns:[ Table.Left; Table.Right ]
+    ~header:[ "kernel"; "time per run" ]
+    (List.map
+       (fun (name, ns) ->
+         let human =
+           if Float.is_nan ns then "-"
+           else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+           else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+           else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+           else Printf.sprintf "%.0f ns" ns
+         in
+         [ name; human ])
+       rows)
+
+let () =
+  print_endline "=== PathExpander: full reproduction of the evaluation ===";
+  Runner.run_all ();
+  run_bechamel ()

@@ -1,0 +1,42 @@
+(* Regenerate the paper's tables and figures.
+
+   Usage: experiments [IDS...]   (no arguments: run everything)
+          experiments --list *)
+
+let list_ids () =
+  List.iter
+    (fun e ->
+      Printf.printf "%-5s %s\n" e.Runner.id e.Runner.title)
+    Runner.all
+
+let run_ids ids =
+  List.iter
+    (fun id ->
+      match Runner.find id with
+      | Some e -> e.Runner.run ()
+      | None ->
+        Printf.eprintf "unknown experiment '%s' (try --list)\n" id;
+        exit 1)
+    ids
+
+open Cmdliner
+
+let ids_arg =
+  let doc = "Experiment ids to run (all when omitted)." in
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+
+let list_arg =
+  let doc = "List the available experiments." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let main list ids =
+  if list then list_ids ()
+  else if ids = [] then Runner.run_all ()
+  else run_ids ids
+
+let cmd =
+  let doc = "regenerate the PathExpander paper's tables and figures" in
+  let info = Cmd.info "experiments" ~doc in
+  Cmd.v info Term.(const main $ list_arg $ ids_arg)
+
+let () = exit (Cmd.eval cmd)

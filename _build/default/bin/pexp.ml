@@ -1,0 +1,139 @@
+(* pexp — run one workload under a dynamic bug detector, with or without
+   PathExpander, and report what the detector saw.
+
+   Examples:
+     pexp --app print_tokens2 --bug 10 --detector ccured --mode standard
+     pexp --app 164.gzip --mode cmp --stats
+     pexp --list *)
+
+let detector_of_string = function
+  | "none" -> Ok Codegen.No_detector
+  | "ccured" -> Ok Codegen.Ccured
+  | "iwatcher" -> Ok Codegen.Iwatcher
+  | "assertions" -> Ok Codegen.Assertions
+  | s -> Error (Printf.sprintf "unknown detector '%s'" s)
+
+let mode_of_string = function
+  | "baseline" -> Ok Pe_config.Baseline
+  | "standard" -> Ok Pe_config.Standard
+  | "cmp" -> Ok Pe_config.Cmp
+  | s -> Error (Printf.sprintf "unknown mode '%s'" s)
+
+let list_apps () =
+  List.iter
+    (fun (w : Workload.t) ->
+      Printf.printf "%-14s %-10s %2d bugs  %s\n" w.Workload.name
+        (Workload.app_class_name w.Workload.app_class)
+        (Workload.bug_count w) w.Workload.descr)
+    Registry.all
+
+let termination_summary records =
+  let count p = List.length (List.filter p records) in
+  Printf.printf
+    "NT-Path terminations: %d max-length, %d crash, %d unsafe, %d program-end, %d overflow\n"
+    (count (fun (r : Nt_path.record) -> r.Nt_path.termination = Nt_path.T_max_length))
+    (count Nt_path.is_crash)
+    (count Nt_path.is_unsafe)
+    (count (fun r -> r.Nt_path.termination = Nt_path.T_program_end))
+    (count (fun r -> r.Nt_path.termination = Nt_path.T_cache_overflow))
+
+let run_one ~app ~detector ~mode ~bug ~fixing ~seed ~random_input ~stats
+    ~disasm =
+  let workload = Registry.find app in
+  let compiled = Workload.compile ~detector ~fixing ?bug workload in
+  if disasm then print_string (Program.disassemble compiled.Compile.program);
+  let input =
+    if random_input then workload.Workload.gen_input (Rng.create seed)
+    else workload.Workload.default_input
+  in
+  let machine = Machine.create ~input compiled.Compile.program in
+  let config =
+    { (Workload.pe_config ~mode workload) with Pe_config.fixing }
+  in
+  let result = Engine.run ~config machine in
+  Printf.printf "%s under %s (%s): %s\n" app
+    (Codegen.detector_name detector)
+    (Pe_config.mode_name mode)
+    (Engine.outcome_name result.Engine.outcome);
+  Printf.printf
+    "taken path: %d instructions, %d cycles; total %d cycles; %d NT-Paths\n"
+    result.Engine.taken_insns result.Engine.taken_cycles
+    result.Engine.total_cycles result.Engine.spawns;
+  Printf.printf "branch coverage: %.1f%% taken-path, %.1f%% with NT-Paths\n"
+    (Coverage.taken_pct result.Engine.coverage)
+    (Coverage.combined_pct result.Engine.coverage);
+  if stats then termination_summary result.Engine.nt_records;
+  let reports = machine.Machine.reports in
+  Printf.printf "detector reports: %d (%d distinct sites)\n"
+    (Report.count reports)
+    (List.length (Report.distinct_sites reports));
+  List.iter
+    (fun id ->
+      Printf.printf "  %s\n"
+        (Site.to_string compiled.Compile.program.Program.sites.(id)))
+    (Report.distinct_sites reports);
+  match bug with
+  | None -> ()
+  | Some version ->
+    let bug = Workload.find_bug workload version in
+    let analysis = Analysis.analyze ~compiled ~machine ~bug in
+    Printf.printf "bug %s: %s (taken-path: %b, NT-Path: %b, %d false positives)\n"
+      bug.Bug.id
+      (if Analysis.detected analysis then "DETECTED" else "not detected")
+      analysis.Analysis.detected_on_taken_path
+      analysis.Analysis.detected_on_nt_path
+      (Analysis.false_positive_count analysis)
+
+open Cmdliner
+
+let conv_of parse =
+  Arg.conv ((fun s -> Result.map_error (fun e -> `Msg e) (parse s)), fun fmt _ ->
+      Format.fprintf fmt "<opt>")
+
+let app_arg =
+  Arg.(value & opt string "print_tokens2" & info [ "app"; "a" ] ~doc:"Workload name.")
+
+let detector_arg =
+  Arg.(
+    value
+    & opt (conv_of detector_of_string) Codegen.Ccured
+    & info [ "detector"; "d" ] ~doc:"Detector: none, ccured, iwatcher, assertions.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt (conv_of mode_of_string) Pe_config.Standard
+    & info [ "mode"; "m" ] ~doc:"Engine mode: baseline, standard, cmp.")
+
+let bug_arg =
+  Arg.(value & opt (some int) None & info [ "bug"; "b" ] ~doc:"Planted bug version.")
+
+let fixing_arg =
+  Arg.(value & opt bool true & info [ "fixing" ] ~doc:"Consistency fixing on/off.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Input generator seed.")
+
+let random_arg =
+  Arg.(value & flag & info [ "random-input" ] ~doc:"Use a generated input.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print NT-Path termination stats.")
+
+let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List workloads.")
+
+let disasm_arg =
+  Arg.(value & flag & info [ "disasm" ] ~doc:"Print the compiled image's disassembly first.")
+
+let main list app detector mode bug fixing seed random_input stats disasm =
+  if list then list_apps ()
+  else
+    run_one ~app ~detector ~mode ~bug ~fixing ~seed ~random_input ~stats ~disasm
+
+let cmd =
+  let doc = "run a workload under a dynamic bug detector with PathExpander" in
+  Cmd.v (Cmd.info "pexp" ~doc)
+    Term.(
+      const main $ list_arg $ app_arg $ detector_arg $ mode_arg $ bug_arg
+      $ fixing_arg $ seed_arg $ random_arg $ stats_arg $ disasm_arg)
+
+let () = exit (Cmd.eval cmd)

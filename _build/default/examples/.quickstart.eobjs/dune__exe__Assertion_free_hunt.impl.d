@@ -1,0 +1,1 @@
+examples/assertion_free_hunt.ml: Compile Diduce Engine List Machine Pe_config Printf Registry Workload

@@ -1,0 +1,1 @@
+examples/assertion_free_hunt.mli:

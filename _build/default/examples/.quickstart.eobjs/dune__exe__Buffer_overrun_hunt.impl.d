@@ -1,0 +1,1 @@
+examples/buffer_overrun_hunt.ml: Analysis Array Codegen Compile Coverage Engine List Machine Pe_config Pin_model Printf Program Registry Report Site Soft_engine Workload

@@ -1,0 +1,1 @@
+examples/cmp_speedup.ml: Compile Coverage Engine List Machine Pe_config Pin_model Printf Registry Soft_engine Workload

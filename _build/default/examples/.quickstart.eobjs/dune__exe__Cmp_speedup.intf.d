@@ -1,0 +1,1 @@
+examples/cmp_speedup.mli:

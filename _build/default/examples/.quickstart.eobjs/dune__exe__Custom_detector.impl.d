@@ -1,0 +1,1 @@
+examples/custom_detector.ml: Compile Coverage Engine List Machine Option Printf Program Report Watchpoints

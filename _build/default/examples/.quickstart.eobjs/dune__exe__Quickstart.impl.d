@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Codegen Compile Coverage Engine List Machine Pe_config Printf Program Report Site

@@ -1,0 +1,34 @@
+(* The cost of exploring non-taken paths, across the three execution modes:
+   baseline (no exploration), the standard checkpoint-and-rollback
+   configuration (NT-Paths serialised on the primary core), and the CMP
+   optimisation (NT-Paths on the idle cores of the 4-core chip). The
+   software implementation is shown last for contrast.
+
+   Run with: dune exec examples/cmp_speedup.exe *)
+
+let show (workload : Workload.t) =
+  Printf.printf "\n== %s ==\n" workload.Workload.name;
+  let compiled = Workload.compile workload in
+  let fresh () =
+    Machine.create ~input:workload.Workload.default_input compiled.Compile.program
+  in
+  let cycles mode =
+    let result = Engine.run ~config:(Workload.pe_config ~mode workload) (fresh ()) in
+    (result.Engine.total_cycles, result.Engine.spawns,
+     Coverage.combined_pct result.Engine.coverage)
+  in
+  let base, _, base_cov = cycles Pe_config.Baseline in
+  let std, spawns, cov = cycles Pe_config.Standard in
+  let cmp, _, _ = cycles Pe_config.Cmp in
+  let pct v = 100.0 *. float_of_int (v - base) /. float_of_int base in
+  Printf.printf "baseline:  %9d cycles (coverage %.1f%%)\n" base base_cov;
+  Printf.printf "standard:  %9d cycles (+%.1f%%, %d NT-Paths, coverage %.1f%%)\n"
+    std (pct std) spawns cov;
+  Printf.printf "CMP:       %9d cycles (+%.1f%%) <- idle cores absorb the NT-Paths\n"
+    cmp (pct cmp);
+  let sw = Soft_engine.run ~config:(Workload.pe_config workload) (fresh ()) in
+  Printf.printf "software:  %.0fx slowdown (PIN-style instrumentation)\n"
+    sw.Soft_engine.accounting.Pin_model.slowdown
+
+let () =
+  List.iter show [ Registry.gzip; Registry.go; Registry.print_tokens ]

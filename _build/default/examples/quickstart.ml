@@ -1,0 +1,67 @@
+(* Quickstart: compile a MiniC program with a bug on a rarely-taken path,
+   monitor it with the CCured-style checker, and watch PathExpander expose
+   the bug that the plain monitored run misses.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let source =
+  {|
+int totals[8];
+
+void record(int slot, int value) {
+  // the 'overflow' slot is only used for values >= 1000, which this
+  // program's inputs never produce -- a classic non-taken path
+  if (value >= 1000) {
+    totals[slot + 8] = value;   // BUG: slot + 8 overruns totals[8]
+  } else {
+    totals[slot] = totals[slot] + value;
+  }
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 40; i = i + 1) {
+    record(i % 8, i * 3);
+  }
+  print_str("done");
+  print_nl();
+  return 0;
+}
+|}
+
+let run_once mode =
+  (* 1. compile with the CCured-style detector and the consistency-fixing
+        pass (the PathExpander compiler support) *)
+  let options = { Codegen.detector = Codegen.Ccured; fixing = true } in
+  let compiled = Compile.compile ~options source in
+  (* 2. load it into a simulated machine *)
+  let machine = Machine.create compiled.Compile.program in
+  (* 3. execute under the chosen PathExpander mode *)
+  let config = { Pe_config.default with Pe_config.mode } in
+  let result = Engine.run ~config machine in
+  (compiled, machine, result)
+
+let () =
+  print_endline "--- baseline monitored run (no PathExpander) ---";
+  let _, machine, result = run_once Pe_config.Baseline in
+  Printf.printf "program output: %s" (Machine.output machine);
+  Printf.printf "coverage: %.1f%%, detector reports: %d\n\n"
+    (Coverage.taken_pct result.Engine.coverage)
+    (Report.count machine.Machine.reports);
+
+  print_endline "--- the same run with PathExpander (standard config) ---";
+  let compiled, machine, result = run_once Pe_config.Standard in
+  Printf.printf "program output: %s" (Machine.output machine);
+  Printf.printf "coverage: %.1f%% -> %.1f%%, NT-Paths explored: %d\n"
+    (Coverage.taken_pct result.Engine.coverage)
+    (Coverage.combined_pct result.Engine.coverage)
+    result.Engine.spawns;
+  List.iter
+    (fun id ->
+      Printf.printf "detector found: %s\n"
+        (Site.to_string compiled.Compile.program.Program.sites.(id)))
+    (Report.distinct_sites machine.Machine.reports);
+  print_endline
+    "\nThe overrun lives on the value >= 1000 edge, which the input never\n\
+     takes; PathExpander forced that edge in a sandbox and the bounds check\n\
+     caught the overrun without the program's output changing at all."

@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Array Ast Fix_atom Hashtbl Insn List Option Printf Program Reg Site Tast Typecheck Vec

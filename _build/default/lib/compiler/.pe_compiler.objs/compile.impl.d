@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Codegen Lexer List Parser Prelude Printf Program Typecheck

@@ -1,0 +1,1 @@
+lib/compiler/parser.mli: Ast Token

@@ -1,0 +1,1 @@
+lib/compiler/tast.ml: Ast

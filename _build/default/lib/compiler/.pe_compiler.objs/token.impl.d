@@ -1,0 +1,1 @@
+lib/compiler/token.ml: Printf

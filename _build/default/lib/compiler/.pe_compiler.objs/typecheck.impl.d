@@ -1,0 +1,1 @@
+lib/compiler/typecheck.ml: Ast Char Hashtbl List Option Printf Program Reg String Tast

@@ -1,0 +1,18 @@
+(** The MiniC lexer.
+
+    Hand-written; tracks line numbers, handles [//] and [/* */] comments,
+    string/char literals with the usual escapes, and collects [//@tag name]
+    markers so workloads can name source lines robustly (bug metadata refers
+    to tags, not raw line numbers). *)
+
+exception Error of string * int  (** message, line *)
+
+type result = {
+  tokens : (Token.t * int) array;  (** token and its line; ends with [Eof] *)
+  tags : (string * int) list;  (** [//@tag name] markers -> line *)
+}
+
+(** [tokenize ?first_line source] lexes MiniC. [first_line] lets callers
+    that concatenate sources (user program + runtime prelude) keep distinct
+    line spaces. *)
+val tokenize : ?first_line:int -> string -> result

@@ -1,0 +1,15 @@
+(** Recursive-descent parser for MiniC.
+
+    Standard C precedence; functions may be used before their definition
+    (the typechecker collects signatures in a first pass), so prototypes do
+    not exist. Struct definitions, global variables (with integer, string
+    or list initialisers) and functions are the top-level forms. *)
+
+exception Error of string * int  (** message, line *)
+
+(** Parse a token stream into a program. *)
+val parse_tokens : (Token.t * int) array -> Ast.program
+
+(** Lex and parse; also returns the source's [//@tag] map.
+    [first_line] as in {!Lexer.tokenize}. *)
+val parse_string : ?first_line:int -> string -> Ast.program * (string * int) list

@@ -1,0 +1,205 @@
+(* The MiniC runtime library, compiled together with every program. Its
+   functions are marked as runtime code: their branches are excluded from the
+   user branch-coverage universe (the paper reports per-application
+   coverage), though PathExpander may still explore NT-Paths inside them.
+
+   The heap is a bump allocator whose break lives in the predefined global
+   [__heap_ptr] (address 1, initialised by the machine loader). Every block
+   is laid out as [size header | payload | 2-word red zone]; under the
+   iWatcher detector the red zone is watched at allocation time and the whole
+   payload is watched again on [free], catching heap overruns and
+   use-after-free. [__watch_region]/[__unwatch_region] compile to watchpoint
+   instructions only under the iWatcher detector and to nothing otherwise. *)
+
+let source =
+  {|
+int __rand_seed = 12345;
+
+void srand(int s) {
+  __rand_seed = s;
+}
+
+int rand() {
+  __rand_seed = __rand_seed * 1103515245 + 12345;
+  int v = __rand_seed >> 16;
+  if (v < 0) {
+    v = -v;
+  }
+  return v % 32768;
+}
+
+int *malloc(int n) {
+  int base = __heap_ptr;
+  __heap_ptr = base + n + 3;
+  int *block = base;
+  block[0] = n;
+  __watch_region(base + 1 + n, 2);
+  return block + 1;
+}
+
+void free(int *p) {
+  int n = p[-1];
+  __watch_region(p, n);
+}
+
+int strlen(char *s) {
+  int n = 0;
+  while (s[n] != 0) {
+    n = n + 1;
+  }
+  return n;
+}
+
+int strcmp(char *a, char *b) {
+  int i = 0;
+  while (a[i] != 0 && a[i] == b[i]) {
+    i = i + 1;
+  }
+  return a[i] - b[i];
+}
+
+int strncmp(char *a, char *b, int n) {
+  int i = 0;
+  while (i < n) {
+    if (a[i] != b[i]) {
+      return a[i] - b[i];
+    }
+    if (a[i] == 0) {
+      return 0;
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+void strcpy(char *dst, char *src) {
+  int i = 0;
+  while (src[i] != 0) {
+    dst[i] = src[i];
+    i = i + 1;
+  }
+  dst[i] = 0;
+}
+
+void strncpy(char *dst, char *src, int n) {
+  int i = 0;
+  while (i < n && src[i] != 0) {
+    dst[i] = src[i];
+    i = i + 1;
+  }
+  while (i < n) {
+    dst[i] = 0;
+    i = i + 1;
+  }
+}
+
+void strcat(char *dst, char *src) {
+  int n = strlen(dst);
+  strcpy(dst + n, src);
+}
+
+void memset(int *p, int v, int n) {
+  int i = 0;
+  while (i < n) {
+    p[i] = v;
+    i = i + 1;
+  }
+}
+
+void memcpy(int *dst, int *src, int n) {
+  int i = 0;
+  while (i < n) {
+    dst[i] = src[i];
+    i = i + 1;
+  }
+}
+
+int is_digit(int c) {
+  return c >= '0' && c <= '9';
+}
+
+int is_alpha(int c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+int is_space(int c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+int is_upper(int c) {
+  return c >= 'A' && c <= 'Z';
+}
+
+int is_lower(int c) {
+  return c >= 'a' && c <= 'z';
+}
+
+int to_lower(int c) {
+  if (is_upper(c)) {
+    return c + 32;
+  }
+  return c;
+}
+
+int to_upper(int c) {
+  if (is_lower(c)) {
+    return c - 32;
+  }
+  return c;
+}
+
+int atoi(char *s) {
+  int i = 0;
+  int sign = 1;
+  int v = 0;
+  while (is_space(s[i])) {
+    i = i + 1;
+  }
+  if (s[i] == '-') {
+    sign = -1;
+    i = i + 1;
+  }
+  while (is_digit(s[i])) {
+    v = v * 10 + (s[i] - '0');
+    i = i + 1;
+  }
+  return v * sign;
+}
+
+int abs_int(int v) {
+  if (v < 0) {
+    return -v;
+  }
+  return v;
+}
+
+int min_int(int a, int b) {
+  if (a < b) {
+    return a;
+  }
+  return b;
+}
+
+int max_int(int a, int b) {
+  if (a > b) {
+    return a;
+  }
+  return b;
+}
+
+void print_str(char *s) {
+  int i = 0;
+  while (s[i] != 0) {
+    putc(s[i]);
+    i = i + 1;
+  }
+}
+
+void print_nl() {
+  putc('\n');
+}
+|}
+
+(* Line space reserved for the prelude so user source lines stay meaningful
+   in report sites and bug metadata. *)
+let first_line = 100_000

@@ -1,0 +1,15 @@
+(** The MiniC runtime library, compiled into every program.
+
+    Provides the bump allocator ([malloc]/[free] with red-zoned blocks and
+    iWatcher watch registration through the conditional
+    [__watch_region]/[__unwatch_region] builtins), string and memory
+    helpers, character classification, an LCG ([rand]/[srand]) and output
+    helpers. Prelude functions are *runtime* code: their branches are
+    excluded from the user coverage universes. *)
+
+(** The prelude's MiniC source. *)
+val source : string
+
+(** Line-number space reserved for the prelude (user sources keep lines
+    below this). *)
+val first_line : int

@@ -1,0 +1,88 @@
+(* Typed abstract syntax: names resolved to storage, field offsets computed,
+   pointer arithmetic scales annotated. Produced by [Typecheck], consumed by
+   [Codegen]. *)
+
+type storage =
+  | Global of int  (* absolute word address of the object's first word *)
+  | Local of int  (* fp-relative offset of the object's first word (< 0) *)
+
+type var_ref = { vr_name : string; vr_ty : Ast.ty; vr_storage : storage }
+
+type field_info = { f_name : string; f_offset : int; f_ty : Ast.ty }
+
+type builtin =
+  | B_putc
+  | B_getc
+  | B_print_int
+  | B_exit
+  | B_watch_region
+  | B_unwatch_region
+
+type texpr = { tdesc : tdesc; ety : Ast.ty; eline : int }
+
+and tdesc =
+  | Tint_lit of int
+  | Tstr_addr of int  (* interned string literal: its global address *)
+  | Tvar of var_ref
+  | Tunop of Ast.unop * texpr
+  | Tbinop of Ast.binop * texpr * texpr  (* int x int ops and comparisons *)
+  | Tptr_add of texpr * texpr * int  (* pointer + index, scale in words *)
+  | Tptr_diff of texpr * texpr * int  (* (p - q) / scale *)
+  | Tassign of texpr * texpr  (* lhs is lvalue-shaped *)
+  | Tcall_fn of string * texpr list
+  | Tcall_builtin of builtin * texpr list
+  | Tindex of texpr * texpr * int  (* base, index, element size in words *)
+  | Tderef of texpr
+  | Taddr of texpr
+  | Tfield of texpr * field_info
+  | Tarrow of texpr * field_info
+  | Tcond of texpr * texpr * texpr
+
+type tstmt = { tsdesc : tsdesc; tsline : int }
+
+and tsdesc =
+  | TSexpr of texpr
+  | TSif of texpr * tstmt list * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSfor of texpr option * texpr option * texpr option * tstmt list
+  | TSreturn of texpr option
+  | TSbreak
+  | TScontinue
+  | TSassert of texpr
+  | TSblock of tstmt list
+
+type local_array = { la_ref : var_ref; la_elems : int }
+
+type tfunc = {
+  tf_name : string;
+  tf_ret : Ast.ty;
+  tf_params : var_ref list;
+  tf_body : tstmt list;
+  tf_frame_words : int;
+  tf_local_arrays : local_array list;  (* for iWatcher red-zone watching *)
+  tf_is_runtime : bool;  (* prelude function: excluded from user coverage *)
+  tf_line : int;
+}
+
+type global_array = { ga_ref : var_ref; ga_elems : int; ga_line : int }
+
+type tprogram = {
+  tp_funcs : tfunc list;
+  tp_global_vars : (string * int) list;  (* global name -> address *)
+  tp_globals_words : int;
+  tp_init_data : (int * int) list;
+  tp_global_arrays : global_array list;
+  tp_blank_addrs : (string * int) list;  (* type name -> blank structure *)
+  tp_struct_sizes : (string * int) list;
+  tp_tags : (string * int) list;  (* //@tag name -> source line *)
+}
+
+(* True when an expression is a directly-addressable scalar variable — the
+   kind whose value the NT-Path consistency fix can repair in memory. *)
+let fixable_var texpr =
+  match texpr.tdesc with
+  | Tvar ({ vr_ty = Ast.Tint | Ast.Tptr _; _ } as v) -> Some v
+  | Tvar _ | Tint_lit _ | Tstr_addr _ | Tunop _ | Tbinop _ | Tptr_add _
+  | Tptr_diff _ | Tassign _ | Tcall_fn _ | Tcall_builtin _ | Tindex _
+  | Tderef _ | Taddr _ | Tfield _ | Tarrow _ | Tcond _ ->
+    None

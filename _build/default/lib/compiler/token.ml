@@ -1,0 +1,105 @@
+type t =
+  | Tok_int of int
+  | Tok_string of string
+  | Tok_ident of string
+  | Kw_int
+  | Kw_char
+  | Kw_void
+  | Kw_struct
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_for
+  | Kw_return
+  | Kw_break
+  | Kw_continue
+  | Kw_sizeof
+  | Kw_assert
+  | Kw_null
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Dot
+  | Arrow
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Bang
+  | Shl
+  | Shr
+  | Eq_eq
+  | Bang_eq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Amp_amp
+  | Pipe_pipe
+  | Assign
+  | Question
+  | Colon
+  | Eof
+
+let to_string = function
+  | Tok_int n -> string_of_int n
+  | Tok_string s -> Printf.sprintf "\"%s\"" s
+  | Tok_ident s -> s
+  | Kw_int -> "int"
+  | Kw_char -> "char"
+  | Kw_void -> "void"
+  | Kw_struct -> "struct"
+  | Kw_if -> "if"
+  | Kw_else -> "else"
+  | Kw_while -> "while"
+  | Kw_for -> "for"
+  | Kw_return -> "return"
+  | Kw_break -> "break"
+  | Kw_continue -> "continue"
+  | Kw_sizeof -> "sizeof"
+  | Kw_assert -> "assert"
+  | Kw_null -> "NULL"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Semi -> ";"
+  | Comma -> ","
+  | Dot -> "."
+  | Arrow -> "->"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Amp -> "&"
+  | Pipe -> "|"
+  | Caret -> "^"
+  | Tilde -> "~"
+  | Bang -> "!"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Eq_eq -> "=="
+  | Bang_eq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Amp_amp -> "&&"
+  | Pipe_pipe -> "||"
+  | Assign -> "="
+  | Question -> "?"
+  | Colon -> ":"
+  | Eof -> "<eof>"

@@ -1,0 +1,34 @@
+(** The MiniC typechecker and storage allocator.
+
+    Produces the typed AST: names resolved to storage (absolute global
+    addresses / fp-relative frame slots), struct field offsets computed,
+    pointer arithmetic annotated with element sizes, arrays decayed where
+    values are taken. Allocation decisions made here are load-bearing for
+    the detectors and the fixing pass:
+
+    - every top-level array (global or local) gets {!redzone_words} of guard
+      space right after its payload, which the iWatcher detector watches;
+    - one *blank structure* is laid out per struct type, plus a generic
+      blank buffer, as the targets NT-Path pointer fixing redirects
+      null pointers to (Section 4.4 of the paper);
+    - the first global word is [__heap_ptr], the runtime allocator's break,
+      initialised by the machine loader. *)
+
+exception Error of string * int  (** message, line *)
+
+(** Guard words after every array (red zone). *)
+val redzone_words : int
+
+(** Words in the generic blank buffer for [int*]/[char*] fixes. *)
+val generic_blank_words : int
+
+(** [check ~user ~prelude ~tags] typechecks the user program together with
+    the runtime prelude; prelude functions are marked runtime (excluded from
+    the user coverage universes). Raises {!Error} on ill-typed programs,
+    unknown names, arity mismatches, aggregate assignment, or a missing
+    [main]. *)
+val check :
+  user:Ast.program ->
+  prelude:Ast.program ->
+  tags:(string * int) list ->
+  Tast.tprogram

@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Array Bytes Hashtbl List Program Set Stats

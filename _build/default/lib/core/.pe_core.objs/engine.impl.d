@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Btb Context Coverage Cpu Fix_atom Hashtbl Insn Lazy List Machine Machine_config Memory Nt_path Pe_config Printf Program Reg Rng

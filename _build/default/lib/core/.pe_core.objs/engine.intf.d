@@ -1,0 +1,1 @@
+lib/core/engine.mli: Coverage Cpu Machine Nt_path Pe_config

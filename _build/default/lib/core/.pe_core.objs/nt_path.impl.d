@@ -1,0 +1,1 @@
+lib/core/nt_path.ml: Array Btb Cache Context Coverage Cpu Insn Io Machine Machine_config Pe_config Reg

@@ -1,0 +1,1 @@
+lib/core/nt_path.mli: Cache Coverage Cpu Insn Machine Pe_config

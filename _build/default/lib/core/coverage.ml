@@ -1,0 +1,108 @@
+(* Branch-coverage accounting over the user branch universe. An edge is a
+   (branch pc, direction) pair; the universe is fixed by the compiled
+   program. Taken-path coverage is what the baseline monitored run achieves;
+   NT-Path coverage is the additional code PathExpander lets the detector
+   see. *)
+
+module Edge = struct
+  type t = int * bool
+
+  let compare = compare
+end
+
+module Edge_set = Set.Make (Edge)
+
+type t = {
+  universe : (int, unit) Hashtbl.t;
+  mutable taken : Edge_set.t;
+  mutable nt : Edge_set.t;
+  (* statement (source-line) coverage: [line_of.(pc)] is the user source
+     line of the instruction at [pc], or 0 for runtime code *)
+  line_of : int array;
+  line_taken : Bytes.t;
+  line_nt : Bytes.t;
+  line_universe : int;
+}
+
+let create program =
+  let universe = Hashtbl.create 256 in
+  List.iter
+    (fun pc -> Hashtbl.replace universe pc ())
+    program.Program.user_branches;
+  let n = Array.length program.Program.code in
+  let line_of = Array.make n 0 in
+  List.iter
+    (fun (lo, hi) ->
+      for pc = lo to min (hi - 1) (n - 1) do
+        line_of.(pc) <- Program.line_of_pc program pc
+      done)
+    program.Program.user_code_ranges;
+  let max_line = Array.fold_left max 0 line_of in
+  let distinct = Hashtbl.create 256 in
+  Array.iter (fun l -> if l > 0 then Hashtbl.replace distinct l ()) line_of;
+  {
+    universe;
+    taken = Edge_set.empty;
+    nt = Edge_set.empty;
+    line_of;
+    line_taken = Bytes.make (max_line + 1) '\000';
+    line_nt = Bytes.make (max_line + 1) '\000';
+    line_universe = Hashtbl.length distinct;
+  }
+
+let in_universe cov pc = Hashtbl.mem cov.universe pc
+
+let record_taken cov pc direction =
+  if in_universe cov pc then cov.taken <- Edge_set.add (pc, direction) cov.taken
+
+let record_nt cov pc direction =
+  if in_universe cov pc then cov.nt <- Edge_set.add (pc, direction) cov.nt
+
+(* Statement coverage: called once per retired instruction. *)
+let record_pc_taken cov pc =
+  if pc < Array.length cov.line_of then begin
+    let line = cov.line_of.(pc) in
+    if line > 0 then Bytes.unsafe_set cov.line_taken line '\001'
+  end
+
+let record_pc_nt cov pc =
+  if pc < Array.length cov.line_of then begin
+    let line = cov.line_of.(pc) in
+    if line > 0 then Bytes.unsafe_set cov.line_nt line '\001'
+  end
+
+let count_lines bytes = Bytes.fold_left (fun acc c -> if c = '\001' then acc + 1 else acc) 0 bytes
+
+let stmt_taken_pct cov =
+  Stats.pct ~num:(count_lines cov.line_taken) ~den:cov.line_universe
+
+let stmt_combined_pct cov =
+  let combined = ref 0 in
+  for i = 0 to Bytes.length cov.line_taken - 1 do
+    if Bytes.get cov.line_taken i = '\001' || Bytes.get cov.line_nt i = '\001'
+    then incr combined
+  done;
+  Stats.pct ~num:!combined ~den:cov.line_universe
+
+let edge_universe_size cov = 2 * Hashtbl.length cov.universe
+
+let taken_edges cov = Edge_set.cardinal cov.taken
+
+let combined_edges cov = Edge_set.cardinal (Edge_set.union cov.taken cov.nt)
+
+let taken_pct cov =
+  Stats.pct ~num:(taken_edges cov) ~den:(edge_universe_size cov)
+
+let combined_pct cov =
+  Stats.pct ~num:(combined_edges cov) ~den:(edge_universe_size cov)
+
+(* Accumulate [src] into [dst] (cumulative coverage across inputs). Both must
+   come from the same compiled program. *)
+let merge_into ~dst src =
+  dst.taken <- Edge_set.union dst.taken src.taken;
+  dst.nt <- Edge_set.union dst.nt src.nt;
+  let n = min (Bytes.length dst.line_taken) (Bytes.length src.line_taken) in
+  for i = 0 to n - 1 do
+    if Bytes.get src.line_taken i = '\001' then Bytes.set dst.line_taken i '\001';
+    if Bytes.get src.line_nt i = '\001' then Bytes.set dst.line_nt i '\001'
+  done

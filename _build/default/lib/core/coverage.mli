@@ -1,0 +1,45 @@
+(** Branch coverage over the program's user branch-edge universe.
+
+    The paper evaluates PathExpander with branch coverage (path coverage
+    being unmeasurable); an edge is one direction of a conditional branch in
+    user (non-runtime-library) code. *)
+
+type t
+
+val create : Program.t -> t
+
+val in_universe : t -> int -> bool
+
+(** Record an edge executed by the taken path. Edges outside the universe
+    (runtime library, detector code) are ignored. *)
+val record_taken : t -> int -> bool -> unit
+
+(** Record an edge executed inside an NT-Path. *)
+val record_nt : t -> int -> bool -> unit
+
+(** Statement coverage: record the instruction at [pc] as executed by the
+    taken path (runtime-library pcs are ignored). Called per instruction. *)
+val record_pc_taken : t -> int -> unit
+
+val record_pc_nt : t -> int -> unit
+
+(** Total number of edges: two per user branch. *)
+val edge_universe_size : t -> int
+
+val taken_edges : t -> int
+val combined_edges : t -> int
+
+(** Baseline branch coverage, percent. *)
+val taken_pct : t -> float
+
+(** Coverage including NT-Path exploration, percent. *)
+val combined_pct : t -> float
+
+(** Statement (distinct user source line) coverage of the taken path. *)
+val stmt_taken_pct : t -> float
+
+(** Statement coverage including NT-Path exploration. *)
+val stmt_combined_pct : t -> float
+
+(** Union [src]'s coverage into [dst] (cumulative coverage over inputs). *)
+val merge_into : dst:t -> t -> unit

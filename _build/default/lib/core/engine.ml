@@ -1,0 +1,269 @@
+(* The PathExpander execution engines.
+
+   Both configurations execute the taken path on the primary context; at
+   every conditional branch the BTB exercise counters decide whether the
+   non-taken edge is spawned as an NT-Path.
+
+   - Standard configuration: the NT-Path runs on the same core (sharing its
+     L1); its full execution time, plus spawn and squash overheads, lands on
+     the program's critical path (checkpoint-and-rollback).
+
+   - CMP optimisation: NT-Paths run on the idle cores. Functionally the
+     simulation executes each NT-Path synchronously at its spawn point —
+     which is exactly the memory state the tree-shaped TLS dependency order
+     guarantees the path would observe — while the *timing* model assigns it
+     to the earliest-free idle core and only charges the primary core the
+     spawn overhead; a taken-path segment cannot fully commit until its
+     sibling NT-Paths squash, so the program ends at
+     max(taken-path end, last NT-Path squash). *)
+
+type outcome = [ `Halted | `Exited of int | `Faulted of Cpu.fault | `Fuel_exhausted ]
+
+type result = {
+  outcome : outcome;
+  taken_insns : int;
+  taken_branches : int;
+  taken_stores : int;
+  taken_cycles : int;
+  total_cycles : int;
+  nt_records : Nt_path.record list;
+  spawns : int;
+  skipped_spawns : int;
+  profiled_overrides : int;
+  coverage : Coverage.t;
+}
+
+let outcome_name = function
+  | `Halted -> "halted"
+  | `Exited n -> Printf.sprintf "exited(%d)" n
+  | `Faulted f -> "faulted: " ^ Cpu.fault_to_string f
+  | `Fuel_exhausted -> "fuel-exhausted"
+
+type cmp_state = {
+  core_free : int array;  (* per idle core: cycle when it becomes free *)
+  mutable active_finish : int list;  (* finish times of outstanding NT-Paths *)
+}
+
+let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
+  let mconfig = machine.Machine.config in
+  let program = machine.Machine.program in
+  let ctx = Machine.main_context machine in
+  let coverage = Coverage.create program in
+  let nt_records = ref [] in
+  let spawns = ref 0 in
+  let skipped = ref 0 in
+  let nt_serial_cycles = ref 0 in
+  let next_path_id = ref 0 in
+  let last_reset = ref 0 in
+  let cmp =
+    {
+      core_free = Array.make (max 1 (mconfig.Machine_config.cores - 1)) 0;
+      active_finish = [];
+    }
+  in
+  let cmp_l1s =
+    lazy
+      (Array.init
+         (max 1 (mconfig.Machine_config.cores - 1))
+         (fun _ -> Machine.new_l1 machine))
+  in
+  (* Profiled fixing (Section 4.4 future work): observe each fixable
+     condition variable's value whenever its branch executes; at spawn time
+     prefer a historically observed value satisfying the forced edge over
+     the boundary stub. *)
+  let atom_map = Hashtbl.create 64 in
+  if config.Pe_config.profiled_fixing then
+    List.iter
+      (fun (br_pc, atom) -> Hashtbl.replace atom_map br_pc atom)
+      program.Program.fix_atoms;
+  let value_history : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let home_addr home =
+    match home with
+    | Fix_atom.Hglobal addr -> addr
+    | Fix_atom.Hframe off -> Context.get_reg ctx Reg.fp + off
+  in
+  let read_home home =
+    let addr = home_addr home in
+    if Memory.is_valid machine.Machine.mem addr then
+      Some (Memory.read machine.Machine.mem addr)
+    else None
+  in
+  let observe_condition_var br_pc =
+    match Hashtbl.find_opt atom_map br_pc with
+    | None -> ()
+    | Some atom ->
+      (match read_home atom.Fix_atom.var with
+       | None -> ()
+       | Some v ->
+         let ring =
+           match Hashtbl.find_opt value_history br_pc with
+           | Some r -> r
+           | None ->
+             let r = ref [] in
+             Hashtbl.replace value_history br_pc r;
+             r
+         in
+         if not (List.mem v !ring) then
+           ring := v :: (if List.length !ring >= 8 then List.filteri (fun i _ -> i < 7) !ring else !ring))
+  in
+  let profiled_override ~br_pc ~forced_direction =
+    match Hashtbl.find_opt atom_map br_pc with
+    | None -> None
+    | Some atom ->
+      let cmp = Fix_atom.edge_cmp atom ~forced_direction in
+      let rhs =
+        match atom.Fix_atom.rhs with
+        | Fix_atom.Const k -> Some k
+        | Fix_atom.Var home -> read_home home
+      in
+      (match (rhs, Hashtbl.find_opt value_history br_pc) with
+       | Some rhs_value, Some ring ->
+         (match
+            List.find_opt (fun v -> Insn.eval_cmp cmp v rhs_value) !ring
+          with
+          | Some v -> Some (home_addr atom.Fix_atom.var, v)
+          | None -> None)
+       | _ -> None)
+  in
+  let overrides = ref 0 in
+  let counted_override ov =
+    (match ov with Some _ -> incr overrides | None -> ());
+    ov
+  in
+  let spawn_rng = Rng.create config.Pe_config.random_seed in
+  let random_spawn () =
+    config.Pe_config.random_spawn_chance > 0.0
+    && Rng.float spawn_rng < config.Pe_config.random_spawn_chance
+  in
+  let fresh_path_id () =
+    (* 8-bit version tags, id 0 reserved for committed data (Section 4.3). *)
+    next_path_id := !next_path_id + 1;
+    ((!next_path_id - 1) mod 255) + 1
+  in
+  let spawn_standard ~entry ~br_pc ~forced_direction =
+    incr spawns;
+    let fix_override =
+      if config.Pe_config.profiled_fixing then
+        counted_override (profiled_override ~br_pc ~forced_direction)
+      else None
+    in
+    let record =
+      Nt_path.run ?fix_override machine config coverage ~l1:ctx.Context.l1
+        ~regs:ctx.Context.regs ~entry ~spawn_br_pc:br_pc ~forced_direction
+        ~path_id:(fresh_path_id ())
+    in
+    nt_records := record :: !nt_records;
+    nt_serial_cycles :=
+      !nt_serial_cycles + record.Nt_path.cycles
+      + mconfig.Machine_config.spawn_cycles + mconfig.Machine_config.squash_cycles
+  in
+  let spawn_cmp ~entry ~br_pc ~forced_direction =
+    let now = ctx.Context.stats.Context.cycles in
+    cmp.active_finish <- List.filter (fun f -> f > now) cmp.active_finish;
+    if List.length cmp.active_finish >= config.Pe_config.max_num_nt_paths then
+      incr skipped
+    else begin
+      incr spawns;
+      (* Register copy to the idle core: spawn overhead on the primary. *)
+      ctx.Context.stats.Context.cycles <-
+        now + mconfig.Machine_config.spawn_cycles;
+      let core =
+        let best = ref 0 in
+        Array.iteri
+          (fun i free -> if free < cmp.core_free.(!best) then best := i)
+          cmp.core_free;
+        !best
+      in
+      let l1 = (Lazy.force cmp_l1s).(core) in
+      let fix_override =
+        if config.Pe_config.profiled_fixing then
+          counted_override (profiled_override ~br_pc ~forced_direction)
+        else None
+      in
+      let record =
+        Nt_path.run ?fix_override machine config coverage ~l1
+          ~regs:ctx.Context.regs ~entry ~spawn_br_pc:br_pc ~forced_direction
+          ~path_id:(fresh_path_id ())
+      in
+      nt_records := record :: !nt_records;
+      let start = max (ctx.Context.stats.Context.cycles) cmp.core_free.(core) in
+      let finish =
+        start + record.Nt_path.cycles + mconfig.Machine_config.squash_cycles
+      in
+      cmp.core_free.(core) <- finish;
+      cmp.active_finish <- finish :: cmp.active_finish
+    end
+  in
+  let handle_branch ~br_pc ~taken =
+    Coverage.record_taken coverage br_pc taken;
+    if config.Pe_config.profiled_fixing then observe_condition_var br_pc;
+    match config.Pe_config.mode with
+    | Pe_config.Baseline -> ()
+    | Pe_config.Standard | Pe_config.Cmp ->
+      let taken_count, nontaken_count = Btb.counts machine.Machine.btb br_pc in
+      let forced_count = if taken then nontaken_count else taken_count in
+      Btb.exercise machine.Machine.btb br_pc ~taken;
+      if
+        config.Pe_config.spawn_everywhere
+        || forced_count < config.Pe_config.nt_counter_threshold
+        || random_spawn ()
+      then begin
+        Btb.exercise machine.Machine.btb br_pc ~taken:(not taken);
+        let code = program.Program.code in
+        let entry =
+          match code.(br_pc) with
+          | Insn.Br (_, _, _, target) -> if taken then br_pc + 1 else target
+          | _ -> assert false
+        in
+        match config.Pe_config.mode with
+        | Pe_config.Standard ->
+          spawn_standard ~entry ~br_pc ~forced_direction:(not taken)
+        | Pe_config.Cmp -> spawn_cmp ~entry ~br_pc ~forced_direction:(not taken)
+        | Pe_config.Baseline -> ()
+      end
+  in
+  let rec loop () =
+    if ctx.Context.stats.Context.insns >= fuel then `Fuel_exhausted
+    else begin
+      if
+        machine.Machine.insn_index - !last_reset
+        >= config.Pe_config.counter_reset_interval
+      then begin
+        Btb.reset_counters machine.Machine.btb;
+        last_reset := machine.Machine.insn_index
+      end;
+      Coverage.record_pc_taken coverage ctx.Context.pc;
+      match Cpu.step machine ctx with
+      | Cpu.Ev_normal | Cpu.Ev_syscall _ -> loop ()
+      | Cpu.Ev_branch { br_pc; taken; target = _; fallthrough = _ } ->
+        handle_branch ~br_pc ~taken;
+        loop ()
+      | Cpu.Ev_exit status -> `Exited status
+      | Cpu.Ev_halt -> `Halted
+      | Cpu.Ev_fault f -> `Faulted f
+      | Cpu.Ev_overflow -> assert false (* primary context is not sandboxed *)
+    end
+  in
+  let outcome = loop () in
+  let taken_cycles = ctx.Context.stats.Context.cycles in
+  let total_cycles =
+    match config.Pe_config.mode with
+    | Pe_config.Baseline -> taken_cycles
+    | Pe_config.Standard -> taken_cycles + !nt_serial_cycles
+    | Pe_config.Cmp ->
+      (* The last taken-path segment needs its siblings' squash tokens. *)
+      List.fold_left max taken_cycles cmp.active_finish
+  in
+  {
+    outcome;
+    taken_insns = ctx.Context.stats.Context.insns;
+    taken_branches = ctx.Context.stats.Context.branches;
+    taken_stores = ctx.Context.stats.Context.stores;
+    taken_cycles;
+    total_cycles;
+    nt_records = List.rev !nt_records;
+    spawns = !spawns;
+    skipped_spawns = !skipped;
+    profiled_overrides = !overrides;
+    coverage;
+  }

@@ -1,0 +1,33 @@
+(** PathExpander execution engines (standard configuration and CMP
+    optimisation), plus the baseline monitored run.
+
+    Functional behaviour of NT-Paths is identical in both configurations;
+    they differ in the timing model: the standard configuration serialises
+    NT-Path execution on the primary core (plus spawn/squash overheads),
+    while the CMP option schedules each NT-Path on the earliest-free idle
+    core and the program ends only when the last outstanding NT-Path has
+    squashed (commit/squash-token protocol). *)
+
+type outcome = [ `Halted | `Exited of int | `Faulted of Cpu.fault | `Fuel_exhausted ]
+
+type result = {
+  outcome : outcome;
+  taken_insns : int;  (** instructions retired by the taken path *)
+  taken_branches : int;
+  taken_stores : int;
+  taken_cycles : int;  (** primary-core cycles (taken path + spawn overheads) *)
+  total_cycles : int;  (** end-to-end cycles under the configured mode *)
+  nt_records : Nt_path.record list;
+  spawns : int;
+  skipped_spawns : int;  (** CMP: spawns suppressed by [MaxNumNTPaths] *)
+  profiled_overrides : int;
+      (** spawns whose condition variable was fixed from observed history
+          (the profiled-fixing extension) rather than by the boundary stub *)
+  coverage : Coverage.t;
+}
+
+val outcome_name : outcome -> string
+
+(** Run the program loaded in [machine] under the given PathExpander
+    configuration. [fuel] bounds taken-path instructions as a safety net. *)
+val run : ?config:Pe_config.t -> ?fuel:int -> Machine.t -> result

@@ -1,0 +1,129 @@
+type termination =
+  | T_max_length
+  | T_crash of Cpu.fault
+  | T_unsafe of Insn.sys
+  | T_program_end
+  | T_cache_overflow
+
+type record = {
+  spawn_br_pc : int;
+  forced_direction : bool;
+  entry_pc : int;
+  insns : int;
+  cycles : int;
+  stores : int;
+  branches : int;
+  termination : termination;
+}
+
+let termination_name = function
+  | T_max_length -> "max-length"
+  | T_crash _ -> "crash"
+  | T_unsafe _ -> "unsafe-event"
+  | T_program_end -> "program-end"
+  | T_cache_overflow -> "cache-overflow"
+
+let is_crash record =
+  match record.termination with
+  | T_crash _ -> true
+  | T_max_length | T_unsafe _ | T_program_end | T_cache_overflow -> false
+
+let is_unsafe record =
+  match record.termination with
+  | T_unsafe _ -> true
+  | T_max_length | T_crash _ | T_program_end | T_cache_overflow -> false
+
+(* Execute one NT-Path to termination.
+
+   The context is a copy of the spawning core's registers redirected to
+   [entry] (the head of the non-taken edge's stub); the predicate register is
+   set iff consistency fixing is on, so the stub's predicated fix
+   instructions execute. All memory writes are buffered in the sandbox; on
+   termination the path's cache lines are gang-invalidated, its watchpoint
+   mutations undone, and the buffered writes discarded — only detector
+   reports (the monitor memory area) survive.
+
+   Inner branches follow the actual condition; with
+   [follow_nontaken_in_nt] (the Section 4.2 ablation) a cold non-taken edge
+   is forced instead, without any consistency fix. *)
+let run ?fix_override machine (config : Pe_config.t) coverage ~l1 ~regs ~entry
+    ~spawn_br_pc ~forced_direction ~path_id =
+  let ctx = Context.create ~l1 ~pc:entry ~sp:0 in
+  Array.blit regs 0 ctx.Context.regs 0 Reg.count;
+  let sandbox =
+    Context.make_sandbox ~path_id
+      ~line_limit:(Machine_config.l1_lines machine.Machine.config)
+      ~words_per_line:(Machine_config.words_per_line machine.Machine.config)
+  in
+  Context.enter_sandbox ctx sandbox;
+  (* Profiled fixing supplies a historically observed value directly into
+     the sandbox and suppresses the boundary stubs; otherwise the stubs run
+     under the predicate register as usual. *)
+  (match fix_override with
+   | Some (addr, value) ->
+     ignore (Context.sandbox_write sandbox machine.Machine.mem addr value)
+   | None -> ctx.Context.pred <- config.Pe_config.fixing);
+  Coverage.record_nt coverage spawn_br_pc forced_direction;
+  (* OS-support extension (the paper's Section 3.2 future work): virtualise
+     I/O syscalls instead of squashing — output is discarded, getc reads
+     ahead on a path-local cursor, so the path runs on. *)
+  let nt_input_pos = ref (Io.input_pos machine.Machine.io) in
+  let virtualise_syscall sys =
+    match sys with
+    | Insn.Sys_putc | Insn.Sys_print_int ->
+      ctx.Context.pc <- ctx.Context.pc + 1;
+      true
+    | Insn.Sys_getc ->
+      Context.set_reg ctx Reg.rv (Io.peek_at machine.Machine.io !nt_input_pos);
+      if Io.peek_at machine.Machine.io !nt_input_pos >= 0 then
+        incr nt_input_pos;
+      ctx.Context.pc <- ctx.Context.pc + 1;
+      true
+    | Insn.Sys_exit -> false
+  in
+  let rec loop () =
+    if ctx.Context.stats.Context.insns >= config.Pe_config.max_nt_path_length
+    then T_max_length
+    else begin
+      Coverage.record_pc_nt coverage ctx.Context.pc;
+      match Cpu.step machine ctx with
+      | Cpu.Ev_normal -> loop ()
+      | Cpu.Ev_branch { br_pc; taken; target; fallthrough } ->
+        let followed =
+          if config.Pe_config.follow_nontaken_in_nt then begin
+            (* Ablation: force the cold non-taken edge instead. *)
+            let taken_count, nontaken_count = Btb.counts machine.Machine.btb br_pc in
+            let forced_count = if taken then nontaken_count else taken_count in
+            if forced_count < config.Pe_config.nt_counter_threshold then begin
+              ctx.Context.pc <- (if taken then fallthrough else target);
+              not taken
+            end
+            else taken
+          end
+          else taken
+        in
+        Coverage.record_nt coverage br_pc followed;
+        loop ()
+      | Cpu.Ev_syscall sys ->
+        if config.Pe_config.sandbox_syscalls && virtualise_syscall sys then
+          loop ()
+        else T_unsafe sys
+      | Cpu.Ev_halt -> T_program_end
+      | Cpu.Ev_exit _ -> assert false (* syscalls never execute sandboxed *)
+      | Cpu.Ev_fault fault -> T_crash fault
+      | Cpu.Ev_overflow -> T_cache_overflow
+    end
+  in
+  let termination = loop () in
+  Context.undo_watches sandbox machine.Machine.watch;
+  let _ = Cache.gang_invalidate l1 ~owner:path_id in
+  {
+    spawn_br_pc;
+    forced_direction;
+    entry_pc = entry;
+    insns = ctx.Context.stats.Context.insns;
+    cycles = ctx.Context.stats.Context.cycles;
+    stores = ctx.Context.stats.Context.stores;
+    branches = ctx.Context.stats.Context.branches;
+    termination;
+  }

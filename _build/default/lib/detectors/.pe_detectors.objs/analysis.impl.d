@@ -1,0 +1,1 @@
+lib/detectors/analysis.ml: Array Bug Compile List Machine Program Report Site

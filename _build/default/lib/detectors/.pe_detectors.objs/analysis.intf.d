@@ -1,0 +1,1 @@
+lib/detectors/analysis.mli: Bug Compile Machine Site

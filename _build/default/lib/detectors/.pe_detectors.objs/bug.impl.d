@@ -1,0 +1,1 @@
+lib/detectors/bug.ml: Codegen

@@ -1,0 +1,1 @@
+lib/detectors/diduce.ml: Context Hashtbl List Machine Option Program

@@ -1,0 +1,1 @@
+lib/detectors/diduce.mli: Machine Program

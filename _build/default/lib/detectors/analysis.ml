@@ -1,0 +1,47 @@
+(* Post-run analysis of the report log against a planted bug: did the
+   monitored (taken-path) run expose it, did an NT-Path expose it, and which
+   spurious sites fired (PathExpander-induced false positives, the Table 5
+   metric). *)
+
+type t = {
+  detected_on_taken_path : bool;
+  detected_on_nt_path : bool;
+  false_positive_sites : Site.t list;  (* distinct, NT-Path-only, non-bug *)
+  report_count : int;
+}
+
+let lines_of_bug compiled (bug : Bug.t) =
+  List.map (Compile.tag_line compiled) bug.Bug.detect_tags
+
+let site_at_bug_line bug_lines (site : Site.t) = List.mem site.Site.line bug_lines
+
+let analyze ~(compiled : Compile.compiled) ~(machine : Machine.t) ~(bug : Bug.t) =
+  let sites = compiled.Compile.program.Program.sites in
+  let bug_lines = lines_of_bug compiled bug in
+  let reports = machine.Machine.reports in
+  let site id = sites.(id) in
+  let hit_on ids = List.exists (fun id -> site_at_bug_line bug_lines (site id)) ids in
+  let taken_sites = Report.sites_from_taken_path reports in
+  let nt_sites = Report.sites_from_nt_paths reports in
+  let false_positives =
+    List.filter_map
+      (fun id ->
+        let s = site id in
+        (* A false positive is a PathExpander-induced report: it fired in an
+           NT-Path, is not the planted bug, and the taken path never fired
+           it. *)
+        if site_at_bug_line bug_lines s || List.mem id taken_sites then None
+        else Some s)
+      nt_sites
+  in
+  {
+    detected_on_taken_path = hit_on taken_sites;
+    detected_on_nt_path = hit_on nt_sites;
+    false_positive_sites = false_positives;
+    report_count = Report.count reports;
+  }
+
+let detected analysis =
+  analysis.detected_on_taken_path || analysis.detected_on_nt_path
+
+let false_positive_count analysis = List.length analysis.false_positive_sites

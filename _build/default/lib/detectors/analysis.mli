@@ -1,0 +1,21 @@
+(** Post-run analysis of the report log against a planted bug.
+
+    Detection means a report fired at one of the bug's tagged source lines;
+    origin tells whether the baseline monitored run (taken path) or a forced
+    NT-Path exposed it. False positives are the paper's Table 5 metric:
+    distinct non-bug sites that fired {e only} inside NT-Paths —
+    PathExpander-induced alarms, not the checker's own. *)
+
+type t = {
+  detected_on_taken_path : bool;
+  detected_on_nt_path : bool;
+  false_positive_sites : Site.t list;
+  report_count : int;
+}
+
+val analyze : compiled:Compile.compiled -> machine:Machine.t -> bug:Bug.t -> t
+
+(** Detected on either path. *)
+val detected : t -> bool
+
+val false_positive_count : t -> int

@@ -1,0 +1,49 @@
+(** A DIDUCE-style dynamic invariant detector.
+
+    Learns the value range of every named global scalar during a training
+    run, then flags out-of-range stores during monitoring — no assertions
+    or annotations required. Attached through the machine's store hook, it
+    observes sandboxed NT-Path stores exactly like architectural ones, so
+    anomalies PathExpander provokes on non-taken paths surface as
+    violations while their memory effects are still discarded.
+
+    Typical use: train on a baseline run of the same input, switch to
+    monitoring, run again under PathExpander, inspect
+    {!nt_path_violations}. *)
+
+type t
+
+type violation = {
+  addr : int;
+  name : string;  (** nearest global symbol *)
+  value : int;
+  trained_lo : int;
+  trained_hi : int;
+  surprise : int;
+      (** how far outside the widened range, in units of the trained span —
+          DIDUCE's anomaly ranking; forced-path noise scores low, genuine
+          state-smashing bugs score high *)
+  on_nt_path : bool;
+}
+
+(** Monitor the whole globals segment of [program] word by word (violations
+    are named by the nearest symbol); the trained range is widened by
+    [slack_num/slack_den] of its span on each side before a store counts as
+    a violation (default: half a span). *)
+val create : ?slack_num:int -> ?slack_den:int -> Program.t -> t
+
+(** Install on a machine (replaces any existing store hook). The detector
+    starts in training mode. *)
+val attach : t -> Machine.t -> unit
+
+(** Switch from learning ranges to reporting violations. *)
+val start_monitoring : t -> unit
+
+(** All violations, oldest first. *)
+val violations : t -> violation list
+
+(** Sorted names of globals with at least one violation. *)
+val distinct_violated_names : t -> string list
+
+(** Violations observed inside NT-Paths only. *)
+val nt_path_violations : t -> violation list

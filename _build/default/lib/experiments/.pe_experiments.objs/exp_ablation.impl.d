@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Coverage Engine Exp_common List Nt_path Pe_config Registry Stats Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Bug Codegen Compile Engine List Machine Option Pe_config Printf Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.mli: Bug Codegen Compile Engine Machine Pe_config Workload

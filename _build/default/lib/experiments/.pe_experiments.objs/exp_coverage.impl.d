@@ -1,0 +1,1 @@
+lib/experiments/exp_coverage.ml: Coverage Engine Exp_common List Registry Stats Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_cumulative.ml: Compile Coverage Engine Exp_common Hashtbl List Machine Printf Registry Rng Stats Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_extensions.ml: Analysis Bug Codegen Compile Diduce Engine Exp_common List Machine Nt_path Pe_config Printf Registry Stats String Table Workload

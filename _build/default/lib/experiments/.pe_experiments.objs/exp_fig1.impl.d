@@ -1,0 +1,1 @@
+lib/experiments/exp_fig1.ml: Analysis Codegen Coverage Engine Exp_common List Machine Pe_config Printf Registry Report Workload

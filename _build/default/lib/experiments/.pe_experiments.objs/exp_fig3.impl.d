@@ -1,0 +1,1 @@
+lib/experiments/exp_fig3.ml: Engine Exp_common List Nt_path Pe_config Printf Registry Stats Table Workload

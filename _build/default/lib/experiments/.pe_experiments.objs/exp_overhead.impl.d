@@ -1,0 +1,1 @@
+lib/experiments/exp_overhead.ml: Engine Exp_common List Pe_config Registry Stats Table Workload

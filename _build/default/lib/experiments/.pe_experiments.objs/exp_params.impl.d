@@ -1,0 +1,1 @@
+lib/experiments/exp_params.ml: Analysis Codegen Coverage Engine Exp_common List Pe_config Printf Registry Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_sw_hw.ml: Compile Engine Exp_common List Machine Pe_config Pin_model Printf Registry Soft_engine Stats Table Workload

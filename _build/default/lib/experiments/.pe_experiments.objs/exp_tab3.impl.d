@@ -1,0 +1,1 @@
+lib/experiments/exp_tab3.ml: Bug Exp_common List Registry String Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_tab4.ml: Analysis Bug Codegen Exp_common List Pe_config Printf Registry Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_tab5.ml: Analysis Bug Codegen Exp_common Exp_tab4 Float List Stats Table Workload

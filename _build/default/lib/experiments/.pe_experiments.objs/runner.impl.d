@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Exp_ablation Exp_coverage Exp_cumulative Exp_extensions Exp_fig1 Exp_fig3 Exp_overhead Exp_params Exp_sw_hw Exp_tab2 Exp_tab3 Exp_tab4 Exp_tab5 List

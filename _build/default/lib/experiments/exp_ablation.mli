@@ -1,0 +1,4 @@
+(** Section 4.2 — following non-taken edges inside NT-Paths. *)
+
+(** Print this experiment's table(s)/series to stdout. *)
+val run : unit -> unit

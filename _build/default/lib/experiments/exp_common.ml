@@ -1,0 +1,45 @@
+(* Shared plumbing for the experiment harness. *)
+
+type run = {
+  compiled : Compile.compiled;
+  machine : Machine.t;
+  result : Engine.result;
+}
+
+(* Compile and execute one workload configuration. *)
+let run_app ?(detector = Codegen.No_detector) ?(fixing = true) ?bug
+    ?(mode = Pe_config.Standard) ?config ?input (workload : Workload.t) =
+  let compiled = Workload.compile ~detector ~fixing ?bug workload in
+  let input = Option.value ~default:workload.Workload.default_input input in
+  let machine = Machine.create ~input compiled.Compile.program in
+  let config =
+    match config with
+    | Some c -> { c with Pe_config.fixing = c.Pe_config.fixing && fixing }
+    | None ->
+      let c = Workload.pe_config ~mode workload in
+      { c with Pe_config.fixing }
+  in
+  let result = Engine.run ~config machine in
+  { compiled; machine; result }
+
+(* Detectors that can see a bug of this kind, in presentation order. *)
+let detectors_for_kind = function
+  | Bug.Memory -> [ Codegen.Ccured; Codegen.Iwatcher ]
+  | Bug.Semantic -> [ Codegen.Assertions ]
+
+let detector_label = function
+  | Codegen.Ccured -> "Software Tool (CCured)"
+  | Codegen.Iwatcher -> "Hardware Tool (iWatcher)"
+  | Codegen.Assertions -> "Assertions"
+  | Codegen.No_detector -> "None"
+
+(* Bugs of [workload] that [detector] can detect. *)
+let bugs_for workload detector =
+  List.filter (fun b -> Bug.detectable_by b detector) workload.Workload.bugs
+
+let overhead_pct ~baseline ~with_pe =
+  if baseline = 0 then 0.0
+  else 100.0 *. float_of_int (with_pe - baseline) /. float_of_int baseline
+
+let heading title =
+  Printf.printf "\n=== %s ===\n" title

@@ -1,0 +1,33 @@
+(** Shared plumbing for the experiment modules. *)
+
+type run = {
+  compiled : Compile.compiled;
+  machine : Machine.t;
+  result : Engine.result;
+}
+
+(** Compile and execute one workload configuration. [config] overrides the
+    workload's default PathExpander configuration ([mode] is ignored when
+    [config] is given); [fixing] gates both the compiled stubs and the
+    engine behaviour. *)
+val run_app :
+  ?detector:Codegen.detector ->
+  ?fixing:bool ->
+  ?bug:int ->
+  ?mode:Pe_config.mode ->
+  ?config:Pe_config.t ->
+  ?input:string ->
+  Workload.t ->
+  run
+
+(** Detectors that can see bugs of this kind, in presentation order. *)
+val detectors_for_kind : Bug.kind -> Codegen.detector list
+
+(** Table 4/5 row labels, e.g. ["Software Tool (CCured)"]. *)
+val detector_label : Codegen.detector -> string
+
+(** Bugs of the workload that the detector can detect. *)
+val bugs_for : Workload.t -> Codegen.detector -> Bug.t list
+
+val overhead_pct : baseline:int -> with_pe:int -> float
+val heading : string -> unit

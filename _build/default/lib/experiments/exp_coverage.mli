@@ -1,0 +1,4 @@
+(** Section 7.3 — single-input branch and statement coverage. *)
+
+(** Print this experiment's table(s)/series to stdout. *)
+val run : unit -> unit

@@ -1,0 +1,6 @@
+(** The paper's future work, implemented: OS syscall sandboxing,
+    random NT-Path selection, the DIDUCE-style detector and profiled
+    fixing. *)
+
+(** Print this experiment's table(s)/series to stdout. *)
+val run : unit -> unit

@@ -1,0 +1,4 @@
+(** Figure 3 — Crash-Latency and Unsafe-Latency CDFs (Section 3.2). *)
+
+(** Print this experiment's table(s)/series to stdout. *)
+val run : unit -> unit

@@ -1,0 +1,4 @@
+(** Section 7.4 — standard-configuration vs CMP-option overhead. *)
+
+(** Print this experiment's table(s)/series to stdout. *)
+val run : unit -> unit

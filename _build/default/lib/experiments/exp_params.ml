@@ -1,0 +1,134 @@
+(* Section 7.6 (reconstructed) — effects of the PathExpander parameters:
+   MaxNTPathLength, NTPathCounterThreshold and MaxNumNTPaths. The threshold
+   sweep also demonstrates recovery of bc's hot-entry-edge bug once the
+   threshold exceeds the edge's early exercise count. *)
+
+let sweep_apps () = [ Registry.gzip; Registry.print_tokens; Registry.bc ]
+
+let coverage_and_overhead (workload : Workload.t) config =
+  let baseline =
+    Exp_common.run_app ~mode:Pe_config.Baseline workload
+  in
+  let pe = Exp_common.run_app ~config workload in
+  ( Coverage.combined_pct pe.Exp_common.result.Engine.coverage,
+    Exp_common.overhead_pct
+      ~baseline:baseline.Exp_common.result.Engine.total_cycles
+      ~with_pe:pe.Exp_common.result.Engine.total_cycles,
+    pe.Exp_common.result.Engine.spawns )
+
+let sweep_max_length () =
+  Printf.printf "\n-- MaxNTPathLength sweep (standard configuration) --\n";
+  let lengths = [ 100; 300; 1000; 3000 ] in
+  let rows =
+    List.map
+      (fun (workload : Workload.t) ->
+        workload.Workload.name
+        :: List.concat_map
+             (fun len ->
+               let config =
+                 {
+                   (Workload.pe_config workload) with
+                   Pe_config.max_nt_path_length = len;
+                 }
+               in
+               let cov, ovh, _ = coverage_and_overhead workload config in
+               [ Table.fpct cov; Table.fpct ovh ])
+             lengths)
+      (sweep_apps ())
+  in
+  Table.print
+    ~header:
+      ("app (cov / overhead)"
+      :: List.concat_map
+           (fun l -> [ Printf.sprintf "%d cov" l; Printf.sprintf "%d ovh" l ])
+           lengths)
+    rows
+
+let sweep_threshold () =
+  Printf.printf
+    "\n-- NTPathCounterThreshold sweep (coverage; bc hot-edge bug recovery) --\n";
+  let thresholds = [ 1; 2; 5; 8; 16 ] in
+  let rows =
+    List.map
+      (fun (workload : Workload.t) ->
+        workload.Workload.name
+        :: List.map
+             (fun t ->
+               let config =
+                 {
+                   (Workload.pe_config workload) with
+                   Pe_config.nt_counter_threshold = t;
+                 }
+               in
+               let cov, _, _ = coverage_and_overhead workload config in
+               Table.fpct cov)
+             thresholds)
+      (sweep_apps ())
+  in
+  Table.print
+    ~header:("coverage" :: List.map string_of_int thresholds)
+    rows;
+  (* the bc hot-entry-edge bug (v2) versus the threshold *)
+  let bug = Workload.find_bug Registry.bc 2 in
+  let detect t =
+    let config =
+      {
+        (Workload.pe_config Registry.bc) with
+        Pe_config.nt_counter_threshold = t;
+      }
+    in
+    let r =
+      Exp_common.run_app ~detector:Codegen.Ccured ~bug:2 ~config Registry.bc
+    in
+    let analysis =
+      Analysis.analyze ~compiled:r.Exp_common.compiled
+        ~machine:r.Exp_common.machine ~bug
+    in
+    Analysis.detected analysis
+  in
+  Table.print
+    ~header:("bc hot-edge bug detected" :: List.map string_of_int thresholds)
+    [ "detected" :: List.map (fun t -> string_of_bool (detect t)) thresholds ]
+
+let sweep_max_paths () =
+  Printf.printf "\n-- MaxNumNTPaths sweep (CMP option) --\n";
+  let limits = [ 1; 4; 8; 32 ] in
+  let rows =
+    List.map
+      (fun (workload : Workload.t) ->
+        workload.Workload.name
+        :: List.concat_map
+             (fun limit ->
+               let baseline =
+                 Exp_common.run_app ~mode:Pe_config.Baseline workload
+               in
+               let config =
+                 {
+                   (Workload.pe_config ~mode:Pe_config.Cmp workload) with
+                   Pe_config.max_num_nt_paths = limit;
+                 }
+               in
+               let pe = Exp_common.run_app ~config workload in
+               [
+                 Table.fpct
+                   (Exp_common.overhead_pct
+                      ~baseline:baseline.Exp_common.result.Engine.total_cycles
+                      ~with_pe:pe.Exp_common.result.Engine.total_cycles);
+                 string_of_int pe.Exp_common.result.Engine.skipped_spawns;
+               ])
+             limits)
+      (sweep_apps ())
+  in
+  Table.print
+    ~header:
+      ("app (overhead / skipped)"
+      :: List.concat_map
+           (fun l -> [ Printf.sprintf "%d ovh" l; Printf.sprintf "%d skip" l ])
+           limits)
+    rows
+
+let run () =
+  Exp_common.heading "Parameter study (Section 7.6)";
+  sweep_max_length ();
+  sweep_threshold ();
+  sweep_max_paths ()

@@ -1,0 +1,4 @@
+(** Section 7.6 — MaxNTPathLength / threshold / MaxNumNTPaths sweeps. *)
+
+(** Print this experiment's table(s)/series to stdout. *)
+val run : unit -> unit

@@ -1,0 +1,4 @@
+(** Section 7.5 — hardware vs software PathExpander overheads. *)
+
+(** Print this experiment's table(s)/series to stdout. *)
+val run : unit -> unit

@@ -1,0 +1,4 @@
+(** Table 2 — simulated architecture parameters. *)
+
+(** Print this experiment's table(s)/series to stdout. *)
+val run : unit -> unit

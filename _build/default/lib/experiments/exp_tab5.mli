@@ -1,0 +1,4 @@
+(** Table 5 — false positives and detections before/after fixing. *)
+
+(** Print this experiment's table(s)/series to stdout. *)
+val run : unit -> unit

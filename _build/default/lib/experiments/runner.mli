@@ -1,0 +1,18 @@
+(** The experiment registry: every table and figure of the paper's
+    evaluation, plus the future-work extensions, addressable by id. This is
+    the single entry point behind both `bin/experiments.exe` and the bench
+    harness. *)
+
+type experiment = {
+  id : string;  (** e.g. ["tab4"], ["fig3"], ["ext1"] *)
+  title : string;
+  run : unit -> unit;  (** prints the table(s)/series to stdout *)
+}
+
+val all : experiment list
+val find : string -> experiment option
+
+(** Run everything, in presentation order. *)
+val run_all : unit -> unit
+
+val ids : unit -> string list

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Insn List Option Printf Reg String

@@ -1,0 +1,1 @@
+lib/isa/fix_atom.mli: Insn

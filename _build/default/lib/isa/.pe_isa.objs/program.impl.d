@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Buffer Fix_atom Insn List Option Printf Reg Site

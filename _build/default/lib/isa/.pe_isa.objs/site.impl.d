@@ -1,0 +1,1 @@
+lib/isa/site.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/isa/site.mli: Format

@@ -1,0 +1,200 @@
+(* Assembler for the textual form {!Insn.to_string} produces, making the ISA
+   toolchain round-trip: hand-written machine programs and dumped images can
+   be read back. Targets are absolute ("@12"), registers go by their
+   conventional names, and '#' starts a comment. *)
+
+exception Error of string * int  (* message, line *)
+
+let error line fmt = Printf.ksprintf (fun s -> raise (Error (s, line))) fmt
+
+let reg_of_string line name =
+  let fail () = error line "unknown register '%s'" name in
+  let suffix_int prefix =
+    let p = String.length prefix in
+    match int_of_string_opt (String.sub name p (String.length name - p)) with
+    | Some n -> n
+    | None -> fail ()
+  in
+  match name with
+  | "zero" -> Reg.zero
+  | "rv" -> Reg.rv
+  | "sp" -> Reg.sp
+  | "fp" -> Reg.fp
+  | "ra" -> Reg.ra
+  | _ when String.length name >= 2 && name.[0] = 'a' ->
+    let n = suffix_int "a" in
+    if n >= 0 && n < Reg.max_args then Reg.arg n else fail ()
+  | _ when String.length name >= 2 && name.[0] = 't' ->
+    let n = suffix_int "t" in
+    if n >= 0 && n < Reg.max_tmps then Reg.tmp n else fail ()
+  | _ when String.length name >= 2 && name.[0] = 'r' ->
+    let n = suffix_int "r" in
+    if Reg.is_valid n then n else fail ()
+  | _ -> fail ()
+
+let binop_of_string = function
+  | "add" -> Some Insn.Add
+  | "sub" -> Some Insn.Sub
+  | "mul" -> Some Insn.Mul
+  | "div" -> Some Insn.Div
+  | "mod" -> Some Insn.Mod
+  | "and" -> Some Insn.And
+  | "or" -> Some Insn.Or
+  | "xor" -> Some Insn.Xor
+  | "shl" -> Some Insn.Shl
+  | "shr" -> Some Insn.Shr
+  | _ -> None
+
+let cmp_of_string = function
+  | "eq" -> Some Insn.Eq
+  | "ne" -> Some Insn.Ne
+  | "lt" -> Some Insn.Lt
+  | "le" -> Some Insn.Le
+  | "gt" -> Some Insn.Gt
+  | "ge" -> Some Insn.Ge
+  | _ -> None
+
+let sys_of_string line = function
+  | "putc" -> Insn.Sys_putc
+  | "getc" -> Insn.Sys_getc
+  | "print_int" -> Insn.Sys_print_int
+  | "exit" -> Insn.Sys_exit
+  | s -> error line "unknown syscall '%s'" s
+
+(* Split an operand field on commas/spaces; "4(fp)" becomes ["4"; "fp"]. *)
+let operands text =
+  let cleaned = String.map (fun c ->
+      match c with ',' | '(' | ')' -> ' ' | c -> c) text
+  in
+  String.split_on_char ' ' cleaned |> List.filter (fun s -> s <> "")
+
+let int_operand line s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> error line "expected an integer, found '%s'" s
+
+let target_operand line s =
+  if String.length s > 1 && s.[0] = '@' then
+    int_operand line (String.sub s 1 (String.length s - 1))
+  else error line "expected a '@' target, found '%s'" s
+
+let site_operand line s =
+  let prefix = "site:" in
+  let p = String.length prefix in
+  if String.length s > p && String.sub s 0 p = prefix then
+    int_operand line (String.sub s p (String.length s - p))
+  else error line "expected 'site:N', found '%s'" s
+
+let rec parse_fields line mnemonic args =
+  let reg = reg_of_string line in
+  let imm = int_operand line in
+  match (mnemonic, args) with
+  | "li", [ rd; n ] -> Insn.Li (reg rd, imm n)
+  | "mov", [ rd; rs ] -> Insn.Mov (reg rd, reg rs)
+  | "ld", [ rd; off; base ] -> Insn.Load (reg rd, reg base, imm off)
+  | "st", [ rs; off; base ] -> Insn.Store (reg rs, reg base, imm off)
+  | "jmp", [ t ] -> Insn.Jmp (target_operand line t)
+  | "call", [ t ] -> Insn.Call (target_operand line t)
+  | "ret", [] -> Insn.Ret
+  | "push", [ rs ] -> Insn.Push (reg rs)
+  | "pop", [ rd ] -> Insn.Pop (reg rd)
+  | "sys", [ s ] -> Insn.Syscall (sys_of_string line s)
+  | "chkz", [ rs; site ] -> Insn.Checkz (reg rs, site_operand line site)
+  | "watch", [ lo; hi; site ] ->
+    Insn.Watch (reg lo, reg hi, site_operand line site)
+  | "unwat", [ lo; hi ] -> Insn.Unwatch (reg lo, reg hi)
+  | "clrp", [] -> Insn.Clearpred
+  | "halt", [] -> Insn.Halt
+  | "nop", [] -> Insn.Nop
+  | _ ->
+    let n = String.length mnemonic in
+    (* branches: b<cmp> rs, rt, @target *)
+    (match
+       if n > 1 && mnemonic.[0] = 'b' then
+         cmp_of_string (String.sub mnemonic 1 (n - 1))
+       else None
+     with
+     | Some cmp ->
+       (match args with
+        | [ rs; rt; t ] -> Insn.Br (cmp, reg rs, reg rt, target_operand line t)
+        | _ -> error line "branch needs rs, rt, @target")
+     | None ->
+       (* set-on-compare: s<cmp> / s<cmp>i *)
+       (match
+          if n > 1 && mnemonic.[0] = 's' then
+            if mnemonic.[n - 1] = 'i' then
+              Option.map (fun c -> (c, true))
+                (cmp_of_string (String.sub mnemonic 1 (n - 2)))
+            else
+              Option.map (fun c -> (c, false))
+                (cmp_of_string (String.sub mnemonic 1 (n - 1)))
+          else None
+        with
+        | Some (cmp, true) ->
+          (match args with
+           | [ rd; rs; k ] -> Insn.Cmpi (cmp, reg rd, reg rs, imm k)
+           | _ -> error line "scmpi needs rd, rs, imm")
+        | Some (cmp, false) ->
+          (match args with
+           | [ rd; rs; rt ] -> Insn.Cmp (cmp, reg rd, reg rs, reg rt)
+           | _ -> error line "scmp needs rd, rs, rt")
+        | None ->
+          (* binops: <op> rd, rs, rt / <op>i rd, rs, imm *)
+          (match
+             if n > 1 && mnemonic.[n - 1] = 'i' then
+               Option.map (fun b -> (b, true))
+                 (binop_of_string (String.sub mnemonic 0 (n - 1)))
+             else Option.map (fun b -> (b, false)) (binop_of_string mnemonic)
+           with
+           | Some (op, true) ->
+             (match args with
+              | [ rd; rs; k ] -> Insn.Binopi (op, reg rd, reg rs, imm k)
+              | _ -> error line "binopi needs rd, rs, imm")
+           | Some (op, false) ->
+             (match args with
+              | [ rd; rs; rt ] -> Insn.Binop (op, reg rd, reg rs, reg rt)
+              | _ -> error line "binop needs rd, rs, rt")
+           | None -> error line "unknown mnemonic '%s'" mnemonic)))
+
+and parse_insn ?(line = 0) text =
+  let text = String.trim text in
+  match String.index_opt text ' ' with
+  | None when text = "" -> error line "empty instruction"
+  | None -> parse_fields line text []
+  | Some i ->
+    let mnemonic = String.sub text 0 i in
+    let rest = String.sub text i (String.length text - i) in
+    if mnemonic = "<p>" then Insn.Pred (parse_insn ~line rest)
+    else parse_fields line mnemonic (operands rest)
+
+(* Strip "NNN:" pc prefixes, "name:" labels, and '#' comments. *)
+let strip_line text =
+  let text =
+    match String.index_opt text '#' with
+    | Some i -> String.sub text 0 i
+    | None -> text
+  in
+  let text = String.trim text in
+  match String.index_opt text ':' with
+  | Some i when i = String.length text - 1 -> ""  (* pure label line *)
+  | Some i ->
+    let head = String.sub text 0 i in
+    let is_pc_or_label =
+      head <> "" && String.for_all (fun c -> c <> ' ') head
+    in
+    if is_pc_or_label then String.trim (String.sub text (i + 1) (String.length text - i - 1))
+    else text
+  | None -> text
+
+(* Assemble a whole listing (one instruction per line; labels and '#'
+   comments ignored) into a code array. *)
+let parse_program text =
+  let lines = String.split_on_char '\n' text in
+  let code = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let stripped = strip_line raw in
+      if stripped <> "" then
+        code := parse_insn ~line:(idx + 1) stripped :: !code)
+    lines;
+  Array.of_list (List.rev !code)

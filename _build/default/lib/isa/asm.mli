@@ -1,0 +1,15 @@
+(** Assembler for the textual instruction form {!Insn.to_string} produces.
+
+    Completes the ISA toolchain round trip: anything the disassembler
+    prints can be read back ([parse_insn (Insn.to_string i) = i], a tested
+    property), so hand-written machine programs and dumped images are both
+    usable. Listings may carry ["NNN:"] pc prefixes, ["name:"] labels
+    (ignored — targets are absolute ["@NNN"]) and ['#'] comments. *)
+
+exception Error of string * int  (** message, line *)
+
+(** Parse one instruction. *)
+val parse_insn : ?line:int -> string -> Insn.t
+
+(** Assemble a whole listing into a code array. *)
+val parse_program : string -> Insn.t array

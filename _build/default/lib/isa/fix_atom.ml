@@ -1,0 +1,34 @@
+(* Compiler-to-hardware description of a branch's fixable condition: which
+   storage location holds the condition variable and what comparison the
+   branch-taken edge asserts. The predicated stubs bake boundary values into
+   the binary; this side table is the extra hint the profiled-fixing
+   extension needs to pick values from observed history instead. *)
+
+type home = Hglobal of int | Hframe of int
+
+type rhs = Const of int | Var of home
+
+type t = {
+  var : home;
+  pointer : bool;
+  cmp : Insn.cmp;  (* the condition holding on the branch-taken edge *)
+  rhs : rhs;
+}
+
+let home_to_string = function
+  | Hglobal addr -> Printf.sprintf "g%d" addr
+  | Hframe off -> Printf.sprintf "fp%+d" off
+
+let to_string atom =
+  Printf.sprintf "%s %s %s%s"
+    (home_to_string atom.var)
+    (Insn.cmp_name atom.cmp)
+    (match atom.rhs with
+     | Const k -> string_of_int k
+     | Var home -> home_to_string home)
+    (if atom.pointer then " (ptr)" else "")
+
+(* The condition holding on the forced edge: as-is when the non-taken edge
+   is the branch target, negated when it is the fallthrough. *)
+let edge_cmp atom ~forced_direction =
+  if forced_direction then atom.cmp else Insn.negate_cmp atom.cmp

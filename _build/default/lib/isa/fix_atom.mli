@@ -1,0 +1,27 @@
+(** Per-branch condition descriptions for the profiled-fixing extension.
+
+    The paper's Section 4.4 future work proposes picking fix values that
+    satisfy "not only the desired branch direction but also the normal
+    value range and usage pattern" of the variable (value-invariant
+    inference, as in DIDUCE). The predicated stubs carry only boundary
+    constants; this compiler-emitted side table tells the engine where each
+    fixable condition variable lives so it can observe its values at branch
+    time and fix with a historically plausible one. *)
+
+type home = Hglobal of int | Hframe of int  (** fp-relative offset *)
+
+type rhs = Const of int | Var of home
+
+type t = {
+  var : home;
+  pointer : bool;
+  cmp : Insn.cmp;  (** the condition holding on the branch-taken edge *)
+  rhs : rhs;
+}
+
+val home_to_string : home -> string
+val to_string : t -> string
+
+(** Comparison the forced edge must satisfy: [cmp] when the forced edge is
+    the branch target, its negation when it is the fallthrough. *)
+val edge_cmp : t -> forced_direction:bool -> Insn.cmp

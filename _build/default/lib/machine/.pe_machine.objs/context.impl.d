@@ -1,0 +1,1 @@
+lib/machine/context.ml: Array Cache Hashtbl List Memory Reg Watchpoints

@@ -1,0 +1,1 @@
+lib/machine/context.mli: Cache Memory Reg Watchpoints

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Cache Context Insn Io List Machine Memory Printf Program Reg Report Watchpoints

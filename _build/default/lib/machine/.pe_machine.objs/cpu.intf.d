@@ -1,0 +1,1 @@
+lib/machine/cpu.mli: Context Insn Machine Memory

@@ -1,0 +1,1 @@
+lib/machine/io.ml: Buffer Char String

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Btb Cache Context Io Machine_config Memory Program Report Watchpoints

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Btb Cache Context Io Machine_config Memory Program Report Watchpoints

@@ -1,0 +1,1 @@
+lib/machine/report.ml: Int List Set

@@ -1,0 +1,101 @@
+(* Branch target buffer extended, as in the paper, with two 4-bit saturating
+   exercise counters per entry — one per branch edge. A BTB miss is treated
+   as if both counters were zero. *)
+
+type entry = {
+  mutable tag : int;
+  mutable valid : bool;
+  mutable taken_count : int;
+  mutable nontaken_count : int;
+  mutable lru : int;
+}
+
+type t = {
+  sets : entry array array;
+  counter_max : int;
+  mutable clock : int;
+  mutable lookups : int;
+  mutable misses : int;
+}
+
+let counter_bits = 4
+
+let create ~entries ~assoc =
+  if entries mod assoc <> 0 then invalid_arg "Btb.create: geometry";
+  let nsets = entries / assoc in
+  let make_entry () =
+    { tag = 0; valid = false; taken_count = 0; nontaken_count = 0; lru = 0 }
+  in
+  {
+    sets = Array.init nsets (fun _ -> Array.init assoc (fun _ -> make_entry ()));
+    counter_max = (1 lsl counter_bits) - 1;
+    clock = 0;
+    lookups = 0;
+    misses = 0;
+  }
+
+let set_of btb pc = btb.sets.(pc mod Array.length btb.sets)
+
+let find btb pc =
+  let set = set_of btb pc in
+  let n = Array.length set in
+  let rec search i =
+    if i >= n then None
+    else
+      let e = set.(i) in
+      if e.valid && e.tag = pc then Some e else search (i + 1)
+  in
+  search 0
+
+let victim btb pc =
+  let set = set_of btb pc in
+  let best = ref set.(0) in
+  Array.iter
+    (fun e ->
+      if not e.valid then (if !best.valid then best := e)
+      else if !best.valid && e.lru < !best.lru then best := e)
+    set;
+  !best
+
+(* Exercise counts of the two edges of the branch at [pc]; (0, 0) on miss. *)
+let counts btb pc =
+  btb.lookups <- btb.lookups + 1;
+  match find btb pc with
+  | Some e ->
+    btb.clock <- btb.clock + 1;
+    e.lru <- btb.clock;
+    (e.taken_count, e.nontaken_count)
+  | None ->
+    btb.misses <- btb.misses + 1;
+    (0, 0)
+
+let entry_for btb pc =
+  match find btb pc with
+  | Some e -> e
+  | None ->
+    let e = victim btb pc in
+    e.valid <- true;
+    e.tag <- pc;
+    e.taken_count <- 0;
+    e.nontaken_count <- 0;
+    e
+
+let exercise btb pc ~taken =
+  let e = entry_for btb pc in
+  btb.clock <- btb.clock + 1;
+  e.lru <- btb.clock;
+  if taken then e.taken_count <- min btb.counter_max (e.taken_count + 1)
+  else e.nontaken_count <- min btb.counter_max (e.nontaken_count + 1)
+
+let reset_counters btb =
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun e ->
+          e.taken_count <- 0;
+          e.nontaken_count <- 0)
+        set)
+    btb.sets
+
+let lookups btb = btb.lookups
+let miss_count btb = btb.misses

@@ -1,0 +1,29 @@
+(** Branch target buffer with per-edge exercise counters.
+
+    The paper's only addition to the front end: each BTB entry carries two
+    4-bit saturating counters recording how often each edge (taken-target and
+    fallthrough) of the branch has been executed. PathExpander spawns an
+    NT-Path on a non-taken edge whose counter is below the threshold; a BTB
+    miss reads as zero counters. Counters are periodically reset (the
+    [CounterResetInterval] policy lives in the PathExpander engine). *)
+
+type t
+
+(** Counter width in bits (4). *)
+val counter_bits : int
+
+val create : entries:int -> assoc:int -> t
+
+(** [counts btb pc] is [(taken_edge_count, nontaken_edge_count)] for the
+    branch at [pc]; [(0, 0)] on a BTB miss. Counts as a lookup. *)
+val counts : t -> int -> int * int
+
+(** [exercise btb pc ~taken] increments (saturating) the executed edge's
+    counter, allocating an entry on miss (LRU victim within the set). *)
+val exercise : t -> int -> taken:bool -> unit
+
+(** Zero every counter ([CounterResetInterval] expiry). *)
+val reset_counters : t -> unit
+
+val lookups : t -> int
+val miss_count : t -> int

@@ -1,0 +1,149 @@
+(* Set-associative LRU cache used for timing. Lines carry the owner path-ID
+   version tag from the paper (0 = committed data; the standard
+   configuration's 1-bit Vtag is the special case of IDs {0,1}). *)
+
+type line = {
+  mutable tag : int;
+  mutable valid : bool;
+  mutable owner : int;
+  mutable lru : int;
+}
+
+type t = {
+  sets : line array array;
+  words_per_line : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let committed_owner = 0
+
+let create ~size_kb ~assoc ~line_bytes =
+  let lines = size_kb * 1024 / line_bytes in
+  if lines mod assoc <> 0 then invalid_arg "Cache.create: geometry";
+  let nsets = lines / assoc in
+  let make_line () = { tag = 0; valid = false; owner = committed_owner; lru = 0 } in
+  {
+    sets = Array.init nsets (fun _ -> Array.init assoc (fun _ -> make_line ()));
+    words_per_line = line_bytes / Machine_config.word_bytes;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let line_addr cache addr = addr / cache.words_per_line
+
+let set_of cache laddr =
+  let n = Array.length cache.sets in
+  cache.sets.(((laddr mod n) + n) mod n)
+
+let find_line cache laddr =
+  let set = set_of cache laddr in
+  let n = Array.length set in
+  let rec search i =
+    if i >= n then None
+    else
+      let line = set.(i) in
+      if line.valid && line.tag = laddr then Some line else search (i + 1)
+  in
+  search 0
+
+(* Victim: least-recently-used slot, invalid slots first. *)
+let victim cache laddr =
+  let set = set_of cache laddr in
+  let best = ref set.(0) in
+  Array.iter
+    (fun line ->
+      if not line.valid then (if !best.valid then best := line)
+      else if !best.valid && line.lru < !best.lru then best := line)
+    set;
+  !best
+
+type outcome = Hit | Miss
+
+(* Access a word, filling on miss; returns hit/miss for latency accounting.
+   [owner] tags the filled/updated line (NT-Path writes set their path id).
+   [allocate:false] probes without filling — speculative paths do not
+   install lines in the shared L2, so they can neither pollute it nor act
+   as a prefetcher for the taken path. *)
+let access ?(owner = committed_owner) ?(allocate = true) cache addr =
+  cache.clock <- cache.clock + 1;
+  let laddr = line_addr cache addr in
+  match find_line cache laddr with
+  | Some line ->
+    line.lru <- cache.clock;
+    if owner <> committed_owner then line.owner <- owner;
+    cache.hits <- cache.hits + 1;
+    Hit
+  | None ->
+    if allocate then begin
+      let line = victim cache laddr in
+      line.valid <- true;
+      line.tag <- laddr;
+      line.owner <- owner;
+      line.lru <- cache.clock
+    end;
+    cache.misses <- cache.misses + 1;
+    Miss
+
+(* Gang-invalidate every line owned by [owner] (NT-Path squash). The paper
+   performs this with custom circuitry in a handful of cycles; the cycle cost
+   is charged separately as the squash overhead. *)
+let gang_invalidate cache ~owner =
+  let count = ref 0 in
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun line ->
+          if line.valid && line.owner = owner then begin
+            line.valid <- false;
+            line.owner <- committed_owner;
+            incr count
+          end)
+        set)
+    cache.sets;
+  !count
+
+(* Lazily commit a path's lines: retag them as committed data. *)
+let commit_owner cache ~owner =
+  let count = ref 0 in
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun line ->
+          if line.valid && line.owner = owner then begin
+            line.owner <- committed_owner;
+            incr count
+          end)
+        set)
+    cache.sets;
+  !count
+
+let owned_lines cache ~owner =
+  let count = ref 0 in
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun line -> if line.valid && line.owner = owner then incr count)
+        set)
+    cache.sets;
+  !count
+
+let hits cache = cache.hits
+let misses cache = cache.misses
+
+let reset_stats cache =
+  cache.hits <- 0;
+  cache.misses <- 0
+
+let clear cache =
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun line ->
+          line.valid <- false;
+          line.owner <- committed_owner)
+        set)
+    cache.sets;
+  reset_stats cache

@@ -1,0 +1,37 @@
+(** Set-associative LRU cache model with versioned lines.
+
+    Used for timing (hit/miss latency accounting) and for the paper's
+    L1-based NT-Path sandboxing: lines written by an NT-Path carry that
+    path's ID as a version tag (the standard configuration's 1-bit Vtag is
+    the two-ID special case); squashing a path gang-invalidates its lines and
+    committing a taken-path segment lazily retags them as committed. *)
+
+type t
+
+type outcome = Hit | Miss
+
+(** Version tag of committed (architectural) data: 0. *)
+val committed_owner : int
+
+val create : size_kb:int -> assoc:int -> line_bytes:int -> t
+
+(** [access ?owner ?allocate cache addr] touches the line holding word
+    [addr], filling it on a miss unless [allocate] is [false] (speculative
+    paths probe the shared L2 without installing lines); [owner], when
+    given, version-tags the line. *)
+val access : ?owner:int -> ?allocate:bool -> t -> int -> outcome
+
+(** Invalidate all lines version-tagged [owner]; returns how many. *)
+val gang_invalidate : t -> owner:int -> int
+
+(** Retag all lines of [owner] as committed; returns how many. *)
+val commit_owner : t -> owner:int -> int
+
+val owned_lines : t -> owner:int -> int
+
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit
+
+(** Invalidate everything and reset statistics. *)
+val clear : t -> unit

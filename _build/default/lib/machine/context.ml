@@ -1,0 +1,161 @@
+type stats = {
+  mutable insns : int;
+  mutable cycles : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable branches : int;
+}
+
+let fresh_stats () = { insns = 0; cycles = 0; loads = 0; stores = 0; branches = 0 }
+
+(* Two sandboxing mechanisms:
+   - [Overlay]: the hardware scheme — writes buffered in versioned L1 lines,
+     discarded at squash; bounded by the L1's line capacity.
+   - [Write_log]: the software scheme (PIN-based PathExpander) — writes go
+     straight to memory while an undo log records the old values, replayed
+     backwards at squash. Unbounded, but every write pays logging work. *)
+type sandbox_kind =
+  | Overlay of {
+      overlay : (int, int) Hashtbl.t;
+      dirty_lines : (int, unit) Hashtbl.t;
+      line_limit : int;
+      words_per_line : int;
+    }
+  | Write_log of { mutable log : (int * int) list; mutable log_size : int }
+
+type sandbox = {
+  kind : sandbox_kind;
+  mutable watch_journal : Watchpoints.journal_entry list;
+  path_id : int;
+}
+
+type t = {
+  regs : int array;
+  mutable pc : int;
+  mutable pred : bool;
+  mutable in_pred_fix : bool;
+      (* currently executing a predicated consistency-fix instruction:
+         its stores are PathExpander's, not the program's *)
+  mutable sandbox : sandbox option;
+  stats : stats;
+  l1 : Cache.t;
+}
+
+type checkpoint = { saved_regs : int array; saved_pc : int; saved_pred : bool }
+
+let create ~l1 ~pc ~sp =
+  let regs = Array.make Reg.count 0 in
+  regs.(Reg.sp) <- sp;
+  regs.(Reg.fp) <- sp;
+  {
+    regs;
+    pc;
+    pred = false;
+    in_pred_fix = false;
+    sandbox = None;
+    stats = fresh_stats ();
+    l1;
+  }
+
+let get_reg ctx r = if r = Reg.zero then 0 else ctx.regs.(r)
+
+let set_reg ctx r v = if r <> Reg.zero then ctx.regs.(r) <- v
+
+let checkpoint ctx =
+  { saved_regs = Array.copy ctx.regs; saved_pc = ctx.pc; saved_pred = ctx.pred }
+
+let restore ctx cp =
+  Array.blit cp.saved_regs 0 ctx.regs 0 Reg.count;
+  ctx.pc <- cp.saved_pc;
+  ctx.pred <- cp.saved_pred
+
+let make_sandbox ~path_id ~line_limit ~words_per_line =
+  {
+    kind =
+      Overlay
+        {
+          overlay = Hashtbl.create 64;
+          dirty_lines = Hashtbl.create 16;
+          line_limit;
+          words_per_line;
+        };
+    path_id;
+    watch_journal = [];
+  }
+
+let make_write_log_sandbox ~path_id =
+  { kind = Write_log { log = []; log_size = 0 }; path_id; watch_journal = [] }
+
+let enter_sandbox ctx sandbox = ctx.sandbox <- Some sandbox
+
+let exit_sandbox ctx = ctx.sandbox <- None
+
+let is_sandboxed ctx = ctx.sandbox <> None
+
+let path_id ctx =
+  match ctx.sandbox with Some sb -> sb.path_id | None -> Cache.committed_owner
+
+(* A sandboxed read sees the path's own buffered version first. *)
+let sandbox_read sandbox mem addr =
+  match sandbox.kind with
+  | Overlay o ->
+    (match Hashtbl.find_opt o.overlay addr with
+     | Some v -> v
+     | None -> Memory.read mem addr)
+  | Write_log _ -> Memory.read mem addr
+
+(* A sandboxed write; returns [false] when an overlay write pushed the path
+   past its L1 buffering capacity (overflow => the path must squash). *)
+let sandbox_write sandbox mem addr v =
+  match sandbox.kind with
+  | Overlay o ->
+    Memory.check mem addr;
+    Hashtbl.replace o.overlay addr v;
+    let line = addr / o.words_per_line in
+    if not (Hashtbl.mem o.dirty_lines line) then
+      Hashtbl.replace o.dirty_lines line ();
+    Hashtbl.length o.dirty_lines <= o.line_limit
+  | Write_log wl ->
+    let old = Memory.read mem addr in
+    wl.log <- (addr, old) :: wl.log;
+    wl.log_size <- wl.log_size + 1;
+    Memory.write mem addr v;
+    true
+
+let read_mem ctx mem addr =
+  match ctx.sandbox with
+  | Some sb -> sandbox_read sb mem addr
+  | None -> Memory.read mem addr
+
+let dirty_line_count sandbox =
+  match sandbox.kind with
+  | Overlay o -> Hashtbl.length o.dirty_lines
+  | Write_log _ -> 0
+
+let write_log_size sandbox =
+  match sandbox.kind with
+  | Overlay _ -> 0
+  | Write_log wl -> wl.log_size
+
+(* Undo a write-log sandbox: replay the restore-log backwards. *)
+let rollback_write_log sandbox mem =
+  match sandbox.kind with
+  | Overlay _ -> ()
+  | Write_log wl ->
+    List.iter (fun (addr, old) -> Memory.write mem addr old) wl.log;
+    wl.log <- [];
+    wl.log_size <- 0
+
+(* Commit a sandbox's buffered writes to architectural memory (used only by
+   taken-path segments in the CMP engine; NT-Paths are always discarded). *)
+let commit_sandbox sandbox mem =
+  match sandbox.kind with
+  | Overlay o -> Hashtbl.iter (fun addr v -> Memory.write mem addr v) o.overlay
+  | Write_log _ -> ()
+
+let journal_watch sandbox entry =
+  sandbox.watch_journal <- entry :: sandbox.watch_journal
+
+let undo_watches sandbox watch_unit =
+  List.iter (Watchpoints.undo watch_unit) sandbox.watch_journal;
+  sandbox.watch_journal <- []

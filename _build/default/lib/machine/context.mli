@@ -1,0 +1,90 @@
+(** Per-path execution context: registers, pc, predicate register, cycle
+    statistics, the L1 cache the path uses for timing, and — for NT-Paths —
+    the sandbox that buffers memory writes (the semantic model of the
+    paper's versioned L1 buffering).
+
+    The sandbox stores written words in an overlay keyed by address and
+    tracks how many distinct cache lines the path has dirtied; exceeding the
+    L1's line capacity means the hardware could no longer buffer the path
+    and forces a squash. *)
+
+type stats = {
+  mutable insns : int;
+  mutable cycles : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable branches : int;
+}
+
+val fresh_stats : unit -> stats
+
+type sandbox
+
+type t = {
+  regs : int array;
+  mutable pc : int;
+  mutable pred : bool;  (** the predicate register of Section 4.4 *)
+  mutable in_pred_fix : bool;
+      (** currently executing a predicated consistency-fix instruction —
+          observation hooks use this to tell PathExpander's own stores from
+          the program's *)
+  mutable sandbox : sandbox option;
+  stats : stats;
+  l1 : Cache.t;
+}
+
+(** Architectural register/pc/predicate snapshot. *)
+type checkpoint
+
+(** Fresh context with [sp = fp = sp] and zeroed registers. *)
+val create : l1:Cache.t -> pc:int -> sp:int -> t
+
+(** Reads of [Reg.zero] always give 0. *)
+val get_reg : t -> Reg.t -> int
+
+(** Writes to [Reg.zero] are discarded. *)
+val set_reg : t -> Reg.t -> int -> unit
+
+val checkpoint : t -> checkpoint
+val restore : t -> checkpoint -> unit
+
+(** Hardware-style overlay sandbox (versioned-L1 buffering). *)
+val make_sandbox : path_id:int -> line_limit:int -> words_per_line:int -> sandbox
+
+(** Software-style restore-log sandbox: writes go straight to memory and an
+    undo log records old values (the PIN-based implementation's scheme). *)
+val make_write_log_sandbox : path_id:int -> sandbox
+
+val enter_sandbox : t -> sandbox -> unit
+val exit_sandbox : t -> unit
+val is_sandboxed : t -> bool
+
+(** Version tag for cache lines written by this context
+    ([Cache.committed_owner] when not sandboxed). *)
+val path_id : t -> int
+
+(** Read through the sandbox overlay when present. *)
+val read_mem : t -> Memory.t -> int -> int
+
+(** Buffer a write; [false] when the path overflowed its L1 capacity.
+    Raises [Memory.Fault] on an inaccessible address. *)
+val sandbox_write : sandbox -> Memory.t -> int -> int -> bool
+
+val dirty_line_count : sandbox -> int
+
+(** Number of entries in a restore-log sandbox (0 for overlays). *)
+val write_log_size : sandbox -> int
+
+(** Replay a restore-log sandbox backwards, undoing its memory writes
+    (no-op for overlays, whose buffered writes are simply discarded). *)
+val rollback_write_log : sandbox -> Memory.t -> unit
+
+(** Apply buffered writes to memory (taken-path segment commit in the CMP
+    engine; never used for NT-Paths). *)
+val commit_sandbox : sandbox -> Memory.t -> unit
+
+(** Record a watchpoint mutation for undo at squash. *)
+val journal_watch : sandbox -> Watchpoints.journal_entry -> unit
+
+(** Undo all journaled watchpoint mutations. *)
+val undo_watches : sandbox -> Watchpoints.t -> unit

@@ -1,0 +1,270 @@
+type fault =
+  | Mem_fault of Memory.fault
+  | Div_by_zero
+  | Bad_pc of int
+
+type event =
+  | Ev_normal
+  | Ev_branch of { br_pc : int; taken : bool; target : int; fallthrough : int }
+  | Ev_syscall of Insn.sys
+  | Ev_exit of int
+  | Ev_halt
+  | Ev_fault of fault
+  | Ev_overflow
+
+let fault_to_string = function
+  | Mem_fault f -> Memory.fault_to_string f
+  | Div_by_zero -> "division by zero"
+  | Bad_pc pc -> Printf.sprintf "bad pc %d" pc
+
+exception Overflow
+
+let file_report machine ctx site =
+  let origin =
+    match ctx.Context.sandbox with
+    | Some _ -> Report.Nt_path (Context.path_id ctx)
+    | None -> Report.Taken_path
+  in
+  Report.file machine.Machine.reports ~site ~origin ~pc:ctx.Context.pc
+    ~insn_index:machine.Machine.insn_index
+
+let check_watch machine ctx ~is_write addr =
+  if Watchpoints.count machine.Machine.watch > 0 then
+    List.iter (file_report machine ctx)
+      (Watchpoints.hit_sites machine.Machine.watch ~is_write addr)
+
+let data_read machine ctx addr =
+  (* validity first: a faulting access never reaches the cache or watch unit *)
+  Memory.check machine.Machine.mem addr;
+  check_watch machine ctx ~is_write:false addr;
+  let stats = ctx.Context.stats in
+  stats.Context.loads <- stats.Context.loads + 1;
+  stats.Context.cycles <-
+    stats.Context.cycles
+    + Machine.access_latency machine ctx.Context.l1 ~owner:Cache.committed_owner
+        ~speculative:(Context.is_sandboxed ctx) addr;
+  Context.read_mem ctx machine.Machine.mem addr
+
+(* Raises [Overflow] when a sandboxed path dirties more lines than L1 can
+   buffer. *)
+let data_write machine ctx addr value =
+  Memory.check machine.Machine.mem addr;
+  check_watch machine ctx ~is_write:true addr;
+  (match machine.Machine.store_hook with
+   | Some hook -> hook ctx addr value
+   | None -> ());
+  let stats = ctx.Context.stats in
+  stats.Context.stores <- stats.Context.stores + 1;
+  stats.Context.cycles <-
+    stats.Context.cycles
+    + Machine.access_latency machine ctx.Context.l1 ~owner:(Context.path_id ctx)
+        ~speculative:(Context.is_sandboxed ctx) addr;
+  match ctx.Context.sandbox with
+  | Some sb ->
+    if not (Context.sandbox_write sb machine.Machine.mem addr value) then
+      raise Overflow
+  | None -> Memory.write machine.Machine.mem addr value
+
+let push machine ctx value =
+  let sp = Context.get_reg ctx Reg.sp - 1 in
+  Context.set_reg ctx Reg.sp sp;
+  data_write machine ctx sp value
+
+let pop machine ctx =
+  let sp = Context.get_reg ctx Reg.sp in
+  let v = data_read machine ctx sp in
+  Context.set_reg ctx Reg.sp (sp + 1);
+  v
+
+let do_syscall machine ctx sys =
+  let io = machine.Machine.io in
+  match sys with
+  | Insn.Sys_putc ->
+    Io.putc io (Context.get_reg ctx (Reg.arg 0));
+    Ev_normal
+  | Insn.Sys_getc ->
+    Context.set_reg ctx Reg.rv (Io.getc io);
+    Ev_normal
+  | Insn.Sys_print_int ->
+    Io.print_int io (Context.get_reg ctx (Reg.arg 0));
+    Ev_normal
+  | Insn.Sys_exit ->
+    let status = Context.get_reg ctx (Reg.arg 0) in
+    Io.set_exit io status;
+    Ev_exit status
+
+(* Execute the instruction at [ctx.pc]; advances [ctx.pc], updates timing and
+   returns the event the engine must dispatch on. For a sandboxed context, a
+   syscall is reported *without* being executed (unsafe event: the engine
+   squashes the path), and faults are reported rather than raised (the
+   exception is swallowed by the hardware, as in the paper). *)
+let step machine ctx =
+  let code = machine.Machine.program.Program.code in
+  let pc = ctx.Context.pc in
+  if pc < 0 || pc >= Array.length code then Ev_fault (Bad_pc pc)
+  else begin
+    let stats = ctx.Context.stats in
+    stats.Context.insns <- stats.Context.insns + 1;
+    stats.Context.cycles <- stats.Context.cycles + 1;
+    machine.Machine.insn_index <- machine.Machine.insn_index + 1;
+    let rec exec insn =
+      match insn with
+      | Insn.Binop (op, rd, rs, rt) ->
+        (match
+           Insn.eval_binop op (Context.get_reg ctx rs) (Context.get_reg ctx rt)
+         with
+         | Some v ->
+           Context.set_reg ctx rd v;
+           ctx.Context.pc <- pc + 1;
+           Ev_normal
+         | None -> Ev_fault Div_by_zero)
+      | Insn.Binopi (op, rd, rs, imm) ->
+        (match Insn.eval_binop op (Context.get_reg ctx rs) imm with
+         | Some v ->
+           Context.set_reg ctx rd v;
+           ctx.Context.pc <- pc + 1;
+           Ev_normal
+         | None -> Ev_fault Div_by_zero)
+      | Insn.Cmp (c, rd, rs, rt) ->
+        let v =
+          if Insn.eval_cmp c (Context.get_reg ctx rs) (Context.get_reg ctx rt)
+          then 1
+          else 0
+        in
+        Context.set_reg ctx rd v;
+        ctx.Context.pc <- pc + 1;
+        Ev_normal
+      | Insn.Cmpi (c, rd, rs, imm) ->
+        let v = if Insn.eval_cmp c (Context.get_reg ctx rs) imm then 1 else 0 in
+        Context.set_reg ctx rd v;
+        ctx.Context.pc <- pc + 1;
+        Ev_normal
+      | Insn.Li (rd, imm) ->
+        Context.set_reg ctx rd imm;
+        ctx.Context.pc <- pc + 1;
+        Ev_normal
+      | Insn.Mov (rd, rs) ->
+        Context.set_reg ctx rd (Context.get_reg ctx rs);
+        ctx.Context.pc <- pc + 1;
+        Ev_normal
+      | Insn.Load (rd, base, off) ->
+        let addr = Context.get_reg ctx base + off in
+        let v = data_read machine ctx addr in
+        Context.set_reg ctx rd v;
+        ctx.Context.pc <- pc + 1;
+        Ev_normal
+      | Insn.Store (rs, base, off) ->
+        let addr = Context.get_reg ctx base + off in
+        data_write machine ctx addr (Context.get_reg ctx rs);
+        ctx.Context.pc <- pc + 1;
+        Ev_normal
+      | Insn.Br (c, rs, rt, target) ->
+        stats.Context.branches <- stats.Context.branches + 1;
+        let taken =
+          Insn.eval_cmp c (Context.get_reg ctx rs) (Context.get_reg ctx rt)
+        in
+        let next = if taken then target else pc + 1 in
+        ctx.Context.pc <- next;
+        Ev_branch { br_pc = pc; taken; target; fallthrough = pc + 1 }
+      | Insn.Jmp target ->
+        ctx.Context.pc <- target;
+        Ev_normal
+      | Insn.Call target ->
+        push machine ctx (pc + 1);
+        ctx.Context.pc <- target;
+        Ev_normal
+      | Insn.Ret ->
+        let ra = pop machine ctx in
+        ctx.Context.pc <- ra;
+        Ev_normal
+      | Insn.Push rs ->
+        push machine ctx (Context.get_reg ctx rs);
+        ctx.Context.pc <- pc + 1;
+        Ev_normal
+      | Insn.Pop rd ->
+        let v = pop machine ctx in
+        Context.set_reg ctx rd v;
+        ctx.Context.pc <- pc + 1;
+        Ev_normal
+      | Insn.Syscall sys ->
+        if Context.is_sandboxed ctx then Ev_syscall sys
+        else begin
+          let ev = do_syscall machine ctx sys in
+          ctx.Context.pc <- pc + 1;
+          ev
+        end
+      | Insn.Checkz (rs, site) ->
+        if Context.get_reg ctx rs = 0 then file_report machine ctx site;
+        ctx.Context.pc <- pc + 1;
+        Ev_normal
+      | Insn.Watch (lo, hi, site) ->
+        let entry =
+          Watchpoints.watch machine.Machine.watch
+            ~lo:(Context.get_reg ctx lo) ~hi:(Context.get_reg ctx hi) ~site
+        in
+        (match ctx.Context.sandbox with
+         | Some sb -> Context.journal_watch sb entry
+         | None -> ());
+        ctx.Context.pc <- pc + 1;
+        Ev_normal
+      | Insn.Unwatch (lo, hi) ->
+        let entry =
+          Watchpoints.unwatch machine.Machine.watch
+            ~lo:(Context.get_reg ctx lo) ~hi:(Context.get_reg ctx hi)
+        in
+        (match ctx.Context.sandbox with
+         | Some sb -> Context.journal_watch sb entry
+         | None -> ());
+        ctx.Context.pc <- pc + 1;
+        Ev_normal
+      | Insn.Pred inner ->
+        if ctx.Context.pred then begin
+          ctx.Context.in_pred_fix <- true;
+          let ev = exec inner in
+          ctx.Context.in_pred_fix <- false;
+          ev
+        end
+        else begin
+          ctx.Context.pc <- pc + 1;
+          Ev_normal
+        end
+      | Insn.Clearpred ->
+        ctx.Context.pred <- false;
+        ctx.Context.pc <- pc + 1;
+        Ev_normal
+      | Insn.Halt -> Ev_halt
+      | Insn.Nop ->
+        ctx.Context.pc <- pc + 1;
+        Ev_normal
+    in
+    try exec code.(pc) with
+    | Memory.Fault f -> Ev_fault (Mem_fault f)
+    | Overflow -> Ev_overflow
+  end
+
+type run_outcome = {
+  outcome : [ `Halted | `Exited of int | `Faulted of fault | `Fuel_exhausted ];
+  insns : int;
+  cycles : int;
+}
+
+(* Run a program to completion with no PathExpander involvement: the baseline
+   monitored run. *)
+let run_baseline ?(fuel = 200_000_000) machine =
+  let ctx = Machine.main_context machine in
+  let rec loop () =
+    if ctx.Context.stats.Context.insns >= fuel then `Fuel_exhausted
+    else
+      match step machine ctx with
+      | Ev_normal | Ev_branch _ | Ev_syscall _ -> loop ()
+      | Ev_exit status -> `Exited status
+      | Ev_halt -> `Halted
+      | Ev_fault f -> `Faulted f
+      | Ev_overflow -> assert false
+  in
+  let outcome = loop () in
+  {
+    outcome;
+    insns = ctx.Context.stats.Context.insns;
+    cycles = ctx.Context.stats.Context.cycles;
+  }

@@ -1,0 +1,40 @@
+(** The instruction interpreter.
+
+    [step] executes exactly one instruction in a context and returns the
+    event the surrounding engine must act on. PathExpander logic (BTB
+    updates, NT-Path spawning, termination) lives entirely outside this
+    module, so the same interpreter serves the baseline run, the taken path,
+    NT-Paths, and the software-PathExpander implementation. *)
+
+type fault =
+  | Mem_fault of Memory.fault
+  | Div_by_zero
+  | Bad_pc of int
+
+type event =
+  | Ev_normal
+  | Ev_branch of { br_pc : int; taken : bool; target : int; fallthrough : int }
+      (** the branch was resolved and the pc already follows [taken] *)
+  | Ev_syscall of Insn.sys
+      (** only returned from a sandboxed context, *before* executing the
+          syscall: the unsafe event that squashes an NT-Path *)
+  | Ev_exit of int
+  | Ev_halt
+  | Ev_fault of fault
+      (** the instruction faulted; in an NT-Path the engine squashes and the
+          exception is never delivered *)
+  | Ev_overflow
+      (** a sandboxed write exceeded the L1's buffering capacity *)
+
+val fault_to_string : fault -> string
+
+val step : Machine.t -> Context.t -> event
+
+type run_outcome = {
+  outcome : [ `Halted | `Exited of int | `Faulted of fault | `Fuel_exhausted ];
+  insns : int;
+  cycles : int;
+}
+
+(** Run to completion with no PathExpander: the baseline monitored run. *)
+val run_baseline : ?fuel:int -> Machine.t -> run_outcome

@@ -1,0 +1,34 @@
+type t = {
+  input : string;
+  mutable input_pos : int;
+  output : Buffer.t;
+  mutable exit_status : int option;
+}
+
+let create ?(input = "") () =
+  { input; input_pos = 0; output = Buffer.create 256; exit_status = None }
+
+let input_pos io = io.input_pos
+
+(* Read the character at an explicit cursor without consuming global input:
+   the sandboxed-getc mechanism of the OS-support extension. *)
+let peek_at io pos =
+  if pos >= String.length io.input then -1 else Char.code io.input.[pos]
+
+let getc io =
+  if io.input_pos >= String.length io.input then -1
+  else begin
+    let c = Char.code io.input.[io.input_pos] in
+    io.input_pos <- io.input_pos + 1;
+    c
+  end
+
+let putc io c = Buffer.add_char io.output (Char.chr (c land 0xff))
+
+let print_int io n = Buffer.add_string io.output (string_of_int n)
+
+let output io = Buffer.contents io.output
+
+let set_exit io status = io.exit_status <- Some status
+
+let exit_status io = io.exit_status

@@ -1,0 +1,29 @@
+(** Program input and output channels.
+
+    Input is a fixed string consumed by [Sys_getc]; output accumulates in a
+    buffer. All I/O happens through syscalls, which are unsafe events — an
+    NT-Path terminates *before* performing one, so NT-Paths can never consume
+    input or emit output. *)
+
+type t
+
+val create : ?input:string -> unit -> t
+
+(** Current global input cursor. *)
+val input_pos : t -> int
+
+(** Character at an explicit cursor, without consuming input (used to
+    virtualise [getc] inside a sandboxed NT-Path). *)
+val peek_at : t -> int -> int
+
+(** Next input character code, or -1 at end of input. *)
+val getc : t -> int
+
+val putc : t -> int -> unit
+val print_int : t -> int -> unit
+
+(** Everything the program printed so far. *)
+val output : t -> string
+
+val set_exit : t -> int -> unit
+val exit_status : t -> int option

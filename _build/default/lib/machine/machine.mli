@@ -1,0 +1,42 @@
+(** The assembled simulated machine: program image, data memory, shared L2,
+    BTB with exercise counters, watchpoint unit, report log (monitor memory
+    area) and program I/O. Execution contexts (one per core / path) are
+    created separately and share this state. *)
+
+type t = {
+  config : Machine_config.t;
+  program : Program.t;
+  mem : Memory.t;
+  l2 : Cache.t;
+  btb : Btb.t;
+  watch : Watchpoints.t;
+  reports : Report.t;
+  io : Io.t;
+  mutable insn_index : int;  (** global retired-instruction counter *)
+  mutable store_hook : (Context.t -> int -> int -> unit) option;
+      (** observation hook called as [hook ctx addr value] on every data
+          store (including sandboxed ones) — the attachment point for
+          detectors built outside the compiler, such as the DIDUCE-style
+          invariant monitor *)
+}
+
+(** Validates the program, lays out memory, installs initial data and points
+    the runtime allocator's break word (global address 1) at the heap base. *)
+val create : ?config:Machine_config.t -> ?input:string -> Program.t -> t
+
+(** A fresh L1 cache with this machine's geometry (one per core). *)
+val new_l1 : t -> Cache.t
+
+(** Context positioned at the program entry with a full stack and its own
+    L1. *)
+val main_context : t -> Context.t
+
+(** Extra stall cycles for a data access at [addr] through [l1] (0 on L1
+    hit); [owner] version-tags the touched line; [speculative] accesses
+    probe the shared L2 without installing lines. *)
+val access_latency : t -> Cache.t -> owner:int -> speculative:bool -> int -> int
+
+val site_count : t -> int
+
+(** Program output so far. *)
+val output : t -> string

@@ -1,0 +1,75 @@
+type t = {
+  cores : int;
+  cpu_ghz : float;
+  issue_width : int;
+  l1_size_kb : int;
+  l1_assoc : int;
+  line_bytes : int;
+  l1_latency_cmp : int;
+  l1_latency : int;
+  l2_size_kb : int;
+  l2_assoc : int;
+  l2_latency : int;
+  mem_latency : int;
+  btb_entries : int;
+  btb_assoc : int;
+  squash_cycles : int;
+  spawn_cycles : int;
+  heap_words : int;
+  stack_words : int;
+}
+
+(* Table 2 of the paper. *)
+let default =
+  {
+    cores = 4;
+    cpu_ghz = 2.4;
+    issue_width = 4;
+    l1_size_kb = 16;
+    l1_assoc = 4;
+    line_bytes = 32;
+    l1_latency_cmp = 3;
+    l1_latency = 2;
+    l2_size_kb = 1024;
+    l2_assoc = 8;
+    l2_latency = 10;
+    mem_latency = 200;
+    btb_entries = 2048;
+    btb_assoc = 2;
+    squash_cycles = 10;
+    spawn_cycles = 20;
+    heap_words = 1 lsl 20;
+    stack_words = 1 lsl 18;
+  }
+
+let word_bytes = 4
+
+let words_per_line config = config.line_bytes / word_bytes
+
+let l1_lines config = config.l1_size_kb * 1024 / config.line_bytes
+
+let to_rows config =
+  [
+    [ "CPU frequency"; Printf.sprintf "%.1fGHz" config.cpu_ghz ];
+    [ "Cores (CMP option)"; string_of_int config.cores ];
+    [ "Fetch, Issue, Retire widths"; Printf.sprintf "6, %d, 4" config.issue_width ];
+    [
+      "L1 cache";
+      Printf.sprintf "%dKB, %d-way, %dB/line, %d cycles (%d non-CMP)"
+        config.l1_size_kb config.l1_assoc config.line_bytes
+        config.l1_latency_cmp config.l1_latency;
+    ];
+    [
+      "L2 cache";
+      Printf.sprintf "%dMB, %d-way, %dB/line, %d cycles"
+        (config.l2_size_kb / 1024) config.l2_assoc config.line_bytes
+        config.l2_latency;
+    ];
+    [ "Memory"; Printf.sprintf "%d cycles latency" config.mem_latency ];
+    [
+      "BTB";
+      Printf.sprintf "%dK, %d way" (config.btb_entries / 1024) config.btb_assoc;
+    ];
+    [ "Squash overhead"; Printf.sprintf "%d cycles" config.squash_cycles ];
+    [ "Spawn overhead"; Printf.sprintf "%d cycles" config.spawn_cycles ];
+  ]

@@ -1,0 +1,44 @@
+(** Simulated architecture parameters (Table 2 of the paper).
+
+    The simulator is instruction-level with an analytic cycle model: every
+    retired instruction costs one cycle, memory instructions additionally pay
+    the latency of the level that services them, NT-Path squash costs
+    [squash_cycles] and NT-Path spawn costs [spawn_cycles]. Pipeline widths
+    are recorded for documentation (they cancel out of every ratio the paper
+    reports). *)
+
+type t = {
+  cores : int;
+  cpu_ghz : float;
+  issue_width : int;
+  l1_size_kb : int;
+  l1_assoc : int;
+  line_bytes : int;
+  l1_latency_cmp : int;  (** L1 latency with the CMP option (3 cycles) *)
+  l1_latency : int;  (** L1 latency in the standard configuration (2) *)
+  l2_size_kb : int;
+  l2_assoc : int;
+  l2_latency : int;
+  mem_latency : int;
+  btb_entries : int;
+  btb_assoc : int;
+  squash_cycles : int;
+  spawn_cycles : int;
+  heap_words : int;  (** simulated heap segment size *)
+  stack_words : int;  (** simulated stack segment size *)
+}
+
+(** Exactly Table 2. *)
+val default : t
+
+(** Bytes per simulated word (4; the machine is word-addressed). *)
+val word_bytes : int
+
+val words_per_line : t -> int
+
+(** Number of L1 lines; bounds how many distinct lines an NT-Path may dirty
+    before it must be squashed (cache-overflow termination). *)
+val l1_lines : t -> int
+
+(** Rows for rendering Table 2. *)
+val to_rows : t -> string list list

@@ -1,0 +1,52 @@
+type t = {
+  words : int array;
+  globals_end : int;
+  heap_base : int;
+  heap_end : int;
+  stack_limit : int;
+  stack_base : int;
+}
+
+type fault = Null_access | Out_of_range of int
+
+exception Fault of fault
+
+let null_guard = Program.null_guard_words
+
+let create ~globals_words ~heap_words ~stack_words =
+  let globals_end = null_guard + globals_words in
+  let heap_base = globals_end in
+  let heap_end = heap_base + heap_words in
+  let stack_limit = heap_end in
+  let stack_base = stack_limit + stack_words in
+  {
+    words = Array.make stack_base 0;
+    globals_end;
+    heap_base;
+    heap_end;
+    stack_limit;
+    stack_base;
+  }
+
+let size mem = Array.length mem.words
+
+let check mem addr =
+  if addr >= 0 && addr < null_guard then raise (Fault Null_access)
+  else if addr < 0 || addr >= Array.length mem.words then
+    raise (Fault (Out_of_range addr))
+
+let read mem addr =
+  check mem addr;
+  mem.words.(addr)
+
+let write mem addr value =
+  check mem addr;
+  mem.words.(addr) <- value
+
+let is_valid mem addr = addr >= null_guard && addr < Array.length mem.words
+
+let fault_to_string = function
+  | Null_access -> "null access"
+  | Out_of_range addr -> Printf.sprintf "out-of-range access at %d" addr
+
+let load_init mem init_data = List.iter (fun (a, v) -> write mem a v) init_data

@@ -1,0 +1,45 @@
+(** Flat word-addressed data memory.
+
+    Layout: the first [Program.null_guard_words] addresses form an unmapped
+    null page (accessing any of them is a null-access fault), then globals,
+    heap, and the downward-growing stack whose initial [sp] is [stack_base].
+    Every other address inside the space is accessible — the machine faults
+    on null-page, negative or beyond-address-space accesses, the
+    access-violation crash model the paper's NT-Path crash-latency study
+    relies on. *)
+
+type t = {
+  words : int array;
+  globals_end : int;  (** first address past the globals segment *)
+  heap_base : int;
+  heap_end : int;
+  stack_limit : int;  (** lowest legal stack address *)
+  stack_base : int;  (** initial stack pointer *)
+}
+
+type fault = Null_access | Out_of_range of int
+
+exception Fault of fault
+
+(** First mapped address (size of the null page). *)
+val null_guard : int
+
+val create : globals_words:int -> heap_words:int -> stack_words:int -> t
+
+(** Total address-space size in words. *)
+val size : t -> int
+
+(** Raises {!Fault} if [addr] is not accessible; no other effect. *)
+val check : t -> int -> unit
+
+(** Raises {!Fault} if [addr] is not accessible. *)
+val read : t -> int -> int
+
+val write : t -> int -> int -> unit
+
+val is_valid : t -> int -> bool
+
+val fault_to_string : fault -> string
+
+(** Install the program's initialised globals. *)
+val load_init : t -> (int * int) list -> unit

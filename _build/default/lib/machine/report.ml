@@ -1,0 +1,56 @@
+(* Bug reports filed by the dynamic detectors. The paper stores these in a
+   special monitor memory area that the NT-Path sandbox never rolls back;
+   here the log models that area directly: entries filed during an NT-Path
+   survive the path's squash. *)
+
+type origin = Taken_path | Nt_path of int
+
+type entry = {
+  site : int;
+  origin : origin;
+  pc : int;
+  insn_index : int;
+}
+
+type t = { mutable entries : entry list; mutable count : int }
+
+let create () = { entries = []; count = 0 }
+
+let file log ~site ~origin ~pc ~insn_index =
+  log.entries <- { site; origin; pc; insn_index } :: log.entries;
+  log.count <- log.count + 1
+
+let entries log = List.rev log.entries
+
+let count log = log.count
+
+let distinct_sites log =
+  let module Int_set = Set.Make (Int) in
+  Int_set.elements
+    (List.fold_left
+       (fun acc e -> Int_set.add e.site acc)
+       Int_set.empty log.entries)
+
+let sites_from_nt_paths log =
+  let module Int_set = Set.Make (Int) in
+  Int_set.elements
+    (List.fold_left
+       (fun acc e ->
+         match e.origin with
+         | Nt_path _ -> Int_set.add e.site acc
+         | Taken_path -> acc)
+       Int_set.empty log.entries)
+
+let sites_from_taken_path log =
+  let module Int_set = Set.Make (Int) in
+  Int_set.elements
+    (List.fold_left
+       (fun acc e ->
+         match e.origin with
+         | Taken_path -> Int_set.add e.site acc
+         | Nt_path _ -> acc)
+       Int_set.empty log.entries)
+
+let clear log =
+  log.entries <- [];
+  log.count <- 0

@@ -1,0 +1,37 @@
+(** The bug-report log — the model of the paper's monitor memory area.
+
+    Reports filed by detector checks are written to a memory region that the
+    NT-Path sandbox explicitly exempts from rollback, so findings made on a
+    squashed path survive. Each entry records which report site fired and
+    whether it fired on the taken path or inside an NT-Path. *)
+
+type origin = Taken_path | Nt_path of int  (** payload: NT-Path id *)
+
+type entry = {
+  site : int;
+  origin : origin;
+  pc : int;  (** pc of the reporting instruction *)
+  insn_index : int;  (** dynamic instruction count when filed *)
+}
+
+type t
+
+val create : unit -> t
+
+val file : t -> site:int -> origin:origin -> pc:int -> insn_index:int -> unit
+
+(** All entries, oldest first. *)
+val entries : t -> entry list
+
+val count : t -> int
+
+(** Sorted distinct site ids that fired at least once. *)
+val distinct_sites : t -> int list
+
+(** Distinct sites that fired inside some NT-Path. *)
+val sites_from_nt_paths : t -> int list
+
+(** Distinct sites that fired on the taken path. *)
+val sites_from_taken_path : t -> int list
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/softpe/pin_model.ml:

@@ -1,0 +1,1 @@
+lib/softpe/soft_engine.ml: Array Context Coverage Cpu Engine Hashtbl Insn List Machine Nt_path Option Pe_config Pin_model Program

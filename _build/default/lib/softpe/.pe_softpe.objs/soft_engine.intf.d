@@ -1,0 +1,1 @@
+lib/softpe/soft_engine.mli: Coverage Engine Machine Nt_path Pe_config Pin_model

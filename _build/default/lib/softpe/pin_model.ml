@@ -1,0 +1,58 @@
+(* Cost model of the PIN-based software PathExpander (Section 5).
+
+   The software implementation pays, on the host processor:
+   - a baseline JIT/dispatch dilation on *every* executed instruction,
+   - per-branch analysis code that maintains the exercise-history hash table
+     and makes the spawn decision,
+   - per-spawn processor-state checkpointing through the PIN API,
+   - per-NT-Path-write restore-log maintenance, and the log replay plus
+     register restore at squash.
+
+   The constants are calibrated against the published overheads of PIN-style
+   tools (PIN's own dispatch overhead of a few x, Valgrind/Purify-class tools
+   at 10-100x): they are inputs to the model, not measurements. *)
+
+type t = {
+  dilation : int;  (* host instructions per guest instruction under PIN *)
+  branch_analysis_insns : int;  (* per executed branch *)
+  spawn_insns : int;  (* checkpoint processor state *)
+  restore_base_insns : int;  (* reset registers, resume taken path *)
+  write_log_insns : int;  (* log one overwritten memory word *)
+  restore_per_write_insns : int;  (* undo one logged write *)
+}
+
+let default =
+  {
+    dilation = 3;
+    branch_analysis_insns = 120;
+    spawn_insns = 2500;
+    restore_base_insns = 1500;
+    write_log_insns = 25;
+    restore_per_write_insns = 12;
+  }
+
+type accounting = {
+  native_insns : int;  (* the un-instrumented monitored run *)
+  host_insns : int;  (* modelled instrumented execution *)
+  slowdown : float;  (* host / native *)
+}
+
+(* Modelled host cost of a software-PathExpander run with the given dynamic
+   profile. *)
+let account model ~taken_insns ~taken_branches ~spawns ~nt_insns ~nt_branches
+    ~nt_writes =
+  let host =
+    (taken_insns * model.dilation)
+    + (taken_branches * model.branch_analysis_insns)
+    + (spawns * (model.spawn_insns + model.restore_base_insns))
+    + (nt_insns * model.dilation)
+    + (nt_branches * model.branch_analysis_insns)
+    + (nt_writes * (model.write_log_insns + model.restore_per_write_insns))
+  in
+  {
+    native_insns = taken_insns;
+    host_insns = host;
+    slowdown =
+      (if taken_insns = 0 then 0.0
+       else float_of_int host /. float_of_int taken_insns);
+  }

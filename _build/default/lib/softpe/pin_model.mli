@@ -1,0 +1,37 @@
+(** Cost model of the PIN-based software PathExpander (Section 5).
+
+    The software implementation pays, on the host processor: a JIT/dispatch
+    dilation on every executed instruction, per-branch analysis code
+    maintaining the exercise-history hash table, per-spawn processor-state
+    checkpointing, and per-write restore-log maintenance plus replay at
+    squash. The constants are calibrated against the published overheads of
+    PIN-class tools; they are inputs to the model, not measurements. *)
+
+type t = {
+  dilation : int;  (** host instructions per guest instruction under PIN *)
+  branch_analysis_insns : int;  (** per executed branch *)
+  spawn_insns : int;  (** checkpoint processor state *)
+  restore_base_insns : int;  (** reset registers, resume the taken path *)
+  write_log_insns : int;  (** log one overwritten memory word *)
+  restore_per_write_insns : int;  (** undo one logged write *)
+}
+
+val default : t
+
+type accounting = {
+  native_insns : int;  (** the un-instrumented monitored run *)
+  host_insns : int;  (** modelled instrumented execution *)
+  slowdown : float;  (** host / native *)
+}
+
+(** Modelled host cost of a software-PathExpander run with the given
+    dynamic profile. *)
+val account :
+  t ->
+  taken_insns:int ->
+  taken_branches:int ->
+  spawns:int ->
+  nt_insns:int ->
+  nt_branches:int ->
+  nt_writes:int ->
+  accounting

@@ -1,0 +1,147 @@
+(* The pure-software PathExpander implementation (Section 5).
+
+   Functionally this mirrors the hardware standard configuration — NT-Paths
+   are selected by the same exercise-history policy and run serially — but
+   the mechanisms are the software ones: the spawn saves processor state into
+   a checkpoint structure, the sandbox is a restore-log (writes go straight
+   to memory, old values logged and replayed backwards at squash), and the
+   exercise history lives in an instrumentation-side hash table rather than
+   the BTB. The run is costed with {!Pin_model}. *)
+
+type result = {
+  outcome : Engine.outcome;
+  coverage : Coverage.t;
+  spawns : int;
+  nt_records : Nt_path.record list;
+  accounting : Pin_model.accounting;
+}
+
+(* Software exercise history: (branch pc, direction) -> count. Unlike the
+   4-bit BTB counters this table never overflows or aliases. *)
+type history = (int * bool, int) Hashtbl.t
+
+let history_count history key =
+  Option.value ~default:0 (Hashtbl.find_opt history key)
+
+let history_bump history key =
+  Hashtbl.replace history key (history_count history key + 1)
+
+let run_nt_path machine (config : Pe_config.t) coverage ~ctx ~entry ~spawn_br_pc
+    ~forced_direction ~path_id =
+  let saved = Context.checkpoint ctx in
+  let sandbox = Context.make_write_log_sandbox ~path_id in
+  Context.enter_sandbox ctx sandbox;
+  ctx.Context.pc <- entry;
+  ctx.Context.pred <- config.Pe_config.fixing;
+  Coverage.record_nt coverage spawn_br_pc forced_direction;
+  let start = ctx.Context.stats.Context.insns in
+  let start_branches = ctx.Context.stats.Context.branches in
+  let rec loop () =
+    if
+      ctx.Context.stats.Context.insns - start
+      >= config.Pe_config.max_nt_path_length
+    then Nt_path.T_max_length
+    else begin
+      Coverage.record_pc_nt coverage ctx.Context.pc;
+      match Cpu.step machine ctx with
+      | Cpu.Ev_normal -> loop ()
+      | Cpu.Ev_branch { br_pc; taken; _ } ->
+        Coverage.record_nt coverage br_pc taken;
+        loop ()
+      | Cpu.Ev_syscall sys -> Nt_path.T_unsafe sys
+      | Cpu.Ev_halt -> Nt_path.T_program_end
+      | Cpu.Ev_exit _ -> assert false
+      | Cpu.Ev_fault fault -> Nt_path.T_crash fault
+      | Cpu.Ev_overflow -> assert false (* restore-log sandboxes don't overflow *)
+    end
+  in
+  let termination = loop () in
+  let nt_writes = Context.write_log_size sandbox in
+  Context.rollback_write_log sandbox machine.Machine.mem;
+  Context.undo_watches sandbox machine.Machine.watch;
+  Context.exit_sandbox ctx;
+  Context.restore ctx saved;
+  {
+    Nt_path.spawn_br_pc;
+    forced_direction;
+    entry_pc = entry;
+    insns = ctx.Context.stats.Context.insns - start;
+    cycles = 0;
+    stores = nt_writes;
+    branches = ctx.Context.stats.Context.branches - start_branches;
+    termination;
+  }
+
+let run ?(config = Pe_config.default) ?(model = Pin_model.default)
+    ?(fuel = 100_000_000) machine =
+  let program = machine.Machine.program in
+  let ctx = Machine.main_context machine in
+  let coverage = Coverage.create program in
+  let history : history = Hashtbl.create 1024 in
+  let nt_records = ref [] in
+  let spawns = ref 0 in
+  let next_path_id = ref 0 in
+  (* NT-Path work, separated from the taken path's own dynamic profile. *)
+  let nt_insns = ref 0 in
+  let nt_branches = ref 0 in
+  let nt_writes = ref 0 in
+  let handle_branch ~br_pc ~taken =
+    Coverage.record_taken coverage br_pc taken;
+    let forced = (br_pc, not taken) in
+    let forced_count = history_count history forced in
+    history_bump history (br_pc, taken);
+    if
+      config.Pe_config.mode <> Pe_config.Baseline
+      && (config.Pe_config.spawn_everywhere
+          || forced_count < config.Pe_config.nt_counter_threshold)
+    then begin
+      history_bump history forced;
+      let entry =
+        match program.Program.code.(br_pc) with
+        | Insn.Br (_, _, _, target) -> if taken then br_pc + 1 else target
+        | _ -> assert false
+      in
+      incr spawns;
+      incr next_path_id;
+      let record =
+        run_nt_path machine config coverage ~ctx ~entry ~spawn_br_pc:br_pc
+          ~forced_direction:(not taken)
+          ~path_id:(((!next_path_id - 1) mod 255) + 1)
+      in
+      nt_records := record :: !nt_records;
+      nt_insns := !nt_insns + record.Nt_path.insns;
+      nt_branches := !nt_branches + record.Nt_path.branches;
+      nt_writes := !nt_writes + record.Nt_path.stores
+    end
+  in
+  let rec loop () =
+    if ctx.Context.stats.Context.insns >= fuel then `Fuel_exhausted
+    else begin
+      Coverage.record_pc_taken coverage ctx.Context.pc;
+      match Cpu.step machine ctx with
+      | Cpu.Ev_normal | Cpu.Ev_syscall _ -> loop ()
+      | Cpu.Ev_branch { br_pc; taken; _ } ->
+        handle_branch ~br_pc ~taken;
+        loop ()
+      | Cpu.Ev_exit status -> `Exited status
+      | Cpu.Ev_halt -> `Halted
+      | Cpu.Ev_fault f -> `Faulted f
+      | Cpu.Ev_overflow -> assert false
+    end
+  in
+  let outcome = loop () in
+  (* The context ran both the taken path and (serially) every NT-Path; the
+     taken path's own profile is the difference. *)
+  let taken_insns = ctx.Context.stats.Context.insns - !nt_insns in
+  let taken_branches = ctx.Context.stats.Context.branches - !nt_branches in
+  let accounting =
+    Pin_model.account model ~taken_insns ~taken_branches ~spawns:!spawns
+      ~nt_insns:!nt_insns ~nt_branches:!nt_branches ~nt_writes:!nt_writes
+  in
+  {
+    outcome;
+    coverage;
+    spawns = !spawns;
+    nt_records = List.rev !nt_records;
+    accounting;
+  }

@@ -1,0 +1,20 @@
+(** The pure-software PathExpander implementation (Section 5).
+
+    Functionally mirrors the hardware standard configuration — the same
+    NT-Path selection policy, run serially — with the software mechanisms:
+    an exact exercise-history hash table instead of the BTB counters, a
+    processor-state checkpoint structure for spawns, and a restore-log
+    sandbox (writes go straight to memory; old values are logged and
+    replayed backwards at squash). The run is costed with {!Pin_model},
+    which is where the paper's 3-4 orders of magnitude appear. *)
+
+type result = {
+  outcome : Engine.outcome;
+  coverage : Coverage.t;
+  spawns : int;
+  nt_records : Nt_path.record list;
+  accounting : Pin_model.accounting;
+}
+
+val run :
+  ?config:Pe_config.t -> ?model:Pin_model.t -> ?fuel:int -> Machine.t -> result

@@ -1,0 +1,48 @@
+(* Deterministic splitmix64-style PRNG so every experiment is reproducible
+   without depending on Random's global state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod bound
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t =
+  let mask53 = (1 lsl 53) - 1 in
+  let x = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) land mask53 in
+  float_of_int x /. float_of_int (mask53 + 1)
+
+let choose t items =
+  match items with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ :: _ -> List.nth items (int t (List.length items))
+
+let shuffle t items =
+  let arr = Array.of_list items in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr

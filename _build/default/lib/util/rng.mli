@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All stochastic parts of the library (input generation, workload noise)
+    thread one of these generators explicitly, so runs are reproducible. *)
+
+type t
+
+(** [create seed] returns a fresh generator. Equal seeds give equal streams. *)
+val create : int -> t
+
+(** Independent copy; advancing one does not affect the other. *)
+val copy : t -> t
+
+(** Raw 64 random bits. *)
+val next_int64 : t -> int64
+
+(** 62 nonnegative random bits as an [int]. *)
+val bits : t -> int
+
+(** [int t bound] is uniform in [\[0, bound)]. Raises on [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in_range t ~lo ~hi] is uniform in [\[lo, hi\]] (inclusive). *)
+val int_in_range : t -> lo:int -> hi:int -> int
+
+val bool : t -> bool
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+(** Uniform element of a non-empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** Fisher-Yates shuffle. *)
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,38 @@
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ :: _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let mean_int xs = mean (List.map float_of_int xs)
+
+let geomean xs =
+  match xs with
+  | [] -> 0.0
+  | _ :: _ ->
+    let logs = List.map (fun x -> log (max x 1e-300)) xs in
+    exp (mean logs)
+
+let percentile xs p =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | sorted ->
+    let n = List.length sorted in
+    let idx = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    let idx = max 0 (min (n - 1) idx) in
+    List.nth sorted idx
+
+(* Cumulative distribution of [samples] evaluated at each point of [points]:
+   fraction of samples <= point. *)
+let cdf ~points samples =
+  let sorted = List.sort compare samples in
+  let n = List.length sorted in
+  let count_le x = List.length (List.filter (fun s -> s <= x) sorted) in
+  List.map
+    (fun p ->
+      let frac = if n = 0 then 0.0 else float_of_int (count_le p) /. float_of_int n in
+      (p, frac))
+    points
+
+let ratio ~num ~den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let pct ~num ~den = 100.0 *. ratio ~num ~den

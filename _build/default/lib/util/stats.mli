@@ -1,0 +1,23 @@
+(** Small statistics helpers used by the experiment harness. *)
+
+(** Arithmetic mean; [0.] on the empty list. *)
+val mean : float list -> float
+
+val mean_int : int list -> float
+
+(** Geometric mean; [0.] on the empty list. *)
+val geomean : float list -> float
+
+(** [percentile xs p] with [p] in [\[0,100\]], nearest-rank method.
+    Raises [Invalid_argument] on the empty list. *)
+val percentile : 'a list -> float -> 'a
+
+(** [cdf ~points samples] evaluates the empirical CDF of [samples] at each of
+    [points]: fraction of samples [<=] the point. *)
+val cdf : points:int list -> int list -> (int * float) list
+
+(** [ratio ~num ~den] as a float; [0.] when [den = 0]. *)
+val ratio : num:int -> den:int -> float
+
+(** [pct ~num ~den] is [100 * num / den]; [0.] when [den = 0]. *)
+val pct : num:int -> den:int -> float

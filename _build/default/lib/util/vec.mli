@@ -1,0 +1,16 @@
+(** Growable array. *)
+
+type 'a t
+
+(** [create ~dummy] makes an empty vector; [dummy] fills unused slots. *)
+val create : dummy:'a -> 'a t
+
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+(** Raise [Invalid_argument] when out of bounds. *)
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+val to_array : 'a t -> 'a array
+val iteri : (int -> 'a -> unit) -> 'a t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/bc.ml: Buffer Bug Char Cold_code List Printf Rng String Workload

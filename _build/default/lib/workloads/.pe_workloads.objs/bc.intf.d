@@ -1,0 +1,1 @@
+lib/workloads/bc.mli: Bug Rng Workload

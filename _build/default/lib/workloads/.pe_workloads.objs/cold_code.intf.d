@@ -1,0 +1,1 @@
+lib/workloads/cold_code.mli:

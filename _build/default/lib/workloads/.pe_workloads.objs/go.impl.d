@@ -1,0 +1,1 @@
+lib/workloads/go.ml: Bug Cold_code Printf Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/go.mli: Bug Rng Workload

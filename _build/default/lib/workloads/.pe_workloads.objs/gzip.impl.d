@@ -1,0 +1,1 @@
+lib/workloads/gzip.ml: Buffer Cold_code Rng Workload

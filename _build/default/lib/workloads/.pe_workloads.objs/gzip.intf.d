@@ -1,0 +1,1 @@
+lib/workloads/gzip.mli: Bug Rng Workload

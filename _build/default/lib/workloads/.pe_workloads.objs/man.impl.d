@@ -1,0 +1,1 @@
+lib/workloads/man.ml: Buffer Bug Cold_code Printf Rng Workload

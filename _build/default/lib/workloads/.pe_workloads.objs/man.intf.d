@@ -1,0 +1,1 @@
+lib/workloads/man.mli: Bug Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/parser_bench.ml: Buffer Cold_code Rng Workload

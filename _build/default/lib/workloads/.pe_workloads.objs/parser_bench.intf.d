@@ -1,0 +1,1 @@
+lib/workloads/parser_bench.mli: Bug Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/print_tokens.mli: Bug Rng Workload

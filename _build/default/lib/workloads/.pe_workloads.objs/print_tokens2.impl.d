@@ -1,0 +1,1 @@
+lib/workloads/print_tokens2.ml: Buffer Bug Cold_code Printf Rng Workload

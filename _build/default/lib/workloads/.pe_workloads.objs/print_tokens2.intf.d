@@ -1,0 +1,1 @@
+lib/workloads/print_tokens2.mli: Bug Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Bc Go Gzip List Man Parser_bench Print_tokens Print_tokens2 Printf Schedule Schedule2 Vpr Workload

@@ -1,0 +1,1 @@
+lib/workloads/schedule.ml: Buffer Bug Cold_code Printf Rng String Workload

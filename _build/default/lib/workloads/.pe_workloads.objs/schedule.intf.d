@@ -1,0 +1,1 @@
+lib/workloads/schedule.mli: Bug Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/schedule2.ml: Buffer Bug Cold_code Printf Rng String Workload

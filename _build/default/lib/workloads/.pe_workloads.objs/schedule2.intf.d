@@ -1,0 +1,1 @@
+lib/workloads/schedule2.mli: Bug Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/vpr.ml: Cold_code Printf Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/vpr.mli: Bug Rng Workload

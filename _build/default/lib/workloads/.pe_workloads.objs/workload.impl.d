@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Bug Codegen Compile List Pe_config Printf Rng String

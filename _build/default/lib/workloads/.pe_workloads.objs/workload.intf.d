@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Bug Codegen Compile Pe_config Rng

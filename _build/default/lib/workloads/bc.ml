@@ -1,0 +1,319 @@
+(* bc-1.06 — an arbitrary-precision-calculator stand-in: a line-oriented
+   expression calculator with variables, parenthesised arithmetic, modulo,
+   unary minus and an 's' (integer square root) function, parsed by
+   recursive descent the way bc's grammar is.
+
+   Two planted memory bugs mirror the paper's bc results:
+
+   - v1 (detected): the square-root digit decomposition loop writes 12
+     digits into an 8-entry buffer. The 's' function never appears in
+     common inputs, so the path is cold; PathExpander forces the
+     [c == 's'] edge and the overrun executes inside the NT-Path.
+
+   - v2 (missed, hot entry edge): negative-result padding walks [pad]
+     up to the maximum parenthesis depth seen so far. Early lines have
+     negative results at shallow depth, so the [v < 0] edge is exercised
+     past NTPathCounterThreshold harmlessly; by the time the nesting depth
+     has grown large enough to overrun, the edge's exercise counter is
+     saturated and PathExpander never spawns it — exactly the paper's
+     second bc bug. Raising the threshold (Section 7.6) recovers it.
+
+   The [if (last_err != NULL)] and ['h' history] guards are false-positive
+   generators for Table 5: forcing the pointer guard without consistency
+   fixing dereferences NULL (a spurious null-check report); fixing redirects
+   it to the blank structure and the false positive disappears. The history
+   guard is unfixable (condition on a buffer element), so its spurious
+   bounds report survives fixing — the residual false positives the paper
+   still sees after fixing. *)
+
+let v bug k ~good ~bad = if bug = Some k then bad else good
+
+let source ~bug =
+  Printf.sprintf
+    {|
+// bc: line-oriented expression calculator (bc-1.06 stand-in)
+
+char ibuf[4096];
+int ilen = 0;
+int icur = 0;
+
+char line[128];
+int llen = 0;
+int lpos = 0;
+
+int vars[26];
+int sq[8];                                   //@tag bc_sq_decl
+int pad[6];                                  //@tag bc_pad_decl
+int htab[26];
+
+int deep = 0;
+int cur_depth = 0;
+int line_no = 0;
+int *last_err = NULL;
+int err = 0;
+
+void read_input() {
+  int c = getc();
+  while (c != -1 && ilen < 4095) {
+    ibuf[ilen] = c;
+    ilen = ilen + 1;
+    c = getc();
+  }
+}
+
+int next_line() {
+  if (icur >= ilen) {
+    return 0;
+  }
+  llen = 0;
+  while (icur < ilen && ibuf[icur] != 10) {
+    if (llen < 126) {
+      line[llen] = ibuf[icur];
+      llen = llen + 1;
+    }
+    icur = icur + 1;
+  }
+  icur = icur + 1;
+  line[llen] = 0;
+  lpos = 0;
+  line_no = line_no + 1;
+  return 1;
+}
+
+void skip_spaces() {
+  while (lpos < llen && line[lpos] == ' ') {
+    lpos = lpos + 1;
+  }
+}
+
+// integer square root via digit scratch + Newton steps
+int do_sqrt(int x) {
+  if (x < 0) {
+    err = 1;
+    return 0;
+  }
+  int i = 0;
+  int t = x;
+  while (i < %s) {
+    sq[i] = t %% 10;                         //@tag bc_sqrt_overrun
+    t = t / 10;
+    i = i + 1;
+  }
+  int r = x;
+  int g = 1;
+  while (g < r) {
+    r = (r + g) / 2;
+    g = x / r;
+  }
+  return r;
+}
+
+int parse_factor() {
+  skip_spaces();
+  int c = line[lpos];
+  if (c == '(') {
+    lpos = lpos + 1;
+    cur_depth = cur_depth + 1;
+    if (cur_depth > deep) {
+      deep = cur_depth;
+    }
+    int v = parse_expr();
+    skip_spaces();
+    if (line[lpos] == ')') {
+      lpos = lpos + 1;
+    } else {
+      err = 1;
+    }
+    cur_depth = cur_depth - 1;
+    return v;
+  }
+  if (c == '-') {
+    lpos = lpos + 1;
+    return -parse_factor();
+  }
+  if (c == 's') {
+    // s(expr): integer square root — absent from common inputs
+    lpos = lpos + 1;
+    return do_sqrt(parse_factor());
+  }
+  if (c == 'h') {
+    // history recall: h<letter> — unfixable guard, a residual FP source
+    int tag = line[lpos + 1] - 'a';
+    lpos = lpos + 2;
+    return htab[tag];
+  }
+  if (is_lower(c)) {
+    lpos = lpos + 1;
+    return vars[c - 'a'];
+  }
+  int v = 0;
+  while (lpos < llen && is_digit(line[lpos])) {
+    v = v * 10 + (line[lpos] - '0');
+    lpos = lpos + 1;
+  }
+  return v;
+}
+
+int parse_term() {
+  int v = parse_factor();
+  skip_spaces();
+  int c = line[lpos];
+  while (c == '*' || c == '/' || c == '%%') {
+    lpos = lpos + 1;
+    int rhs = parse_factor();
+    if (c == '*') {
+      v = v * rhs;
+    } else if (rhs == 0) {
+      err = 1;
+      if (last_err != NULL) {
+        // record the error location — NULL in common runs (FP generator)
+        last_err[0] = line_no;
+      }
+    } else if (c == '/') {
+      v = v / rhs;
+    } else {
+      v = v %% rhs;
+    }
+    skip_spaces();
+    c = line[lpos];
+  }
+  return v;
+}
+
+int parse_expr() {
+  int v = parse_term();
+  skip_spaces();
+  int c = line[lpos];
+  while (c == '+' || c == '-') {
+    lpos = lpos + 1;
+    int rhs = parse_term();
+    if (c == '+') {
+      v = v + rhs;
+    } else {
+      v = v - rhs;
+    }
+    skip_spaces();
+    c = line[lpos];
+  }
+  return v;
+}
+
+void print_result(int v) {
+  if (v < 0) {
+    // negative results are padded by the deepest nesting seen so far
+    if (deep > 0) {
+      int i = 0;
+      while (%s) {
+        pad[i] = ' ';                        //@tag bc_pad_overrun
+        i = i + 1;
+      }
+    }
+    putc('-');
+    v = -v;
+  }
+  print_int(v);
+  print_nl();
+}
+
+void run_line() {
+  skip_spaces();
+  diag_check(line_no);
+  if (llen == 0) {
+    return;
+  }
+  // assignment: <letter> = expr
+  if (llen > 1 && is_lower(line[lpos]) && line[lpos + 1] == '=') {
+    int slot = line[lpos] - 'a';
+    lpos = lpos + 2;
+    int v = parse_expr();
+    vars[slot] = v;
+    htab[slot] = v;
+    return;
+  }
+  int v = parse_expr();
+  print_result(v);
+}
+
+int main() {
+  read_input();
+  while (next_line() == 1) {
+    run_line();
+  }
+  fp_summary(line_no);
+  if (err > 0) {
+    print_str("errors ");
+    print_int(err);
+    print_nl();
+  }
+  return 0;
+}
+|}
+    (v bug 1 ~good:"8" ~bad:"12")
+    (v bug 2 ~good:"i < deep && i < 6" ~bad:"i < deep")
+  ^ Cold_code.fp_region
+  ^ Cold_code.block ~modes:10
+
+let bugs =
+  [
+    Bug.make ~id:"bc-v1" ~version:1 ~kind:Bug.Memory
+      ~descr:"square-root scratch loop writes 12 digits into sq[8]"
+      ~detect_tags:[ "bc_sqrt_overrun"; "bc_sq_decl" ] ();
+    Bug.make ~id:"bc-v2" ~version:2 ~kind:Bug.Memory
+      ~descr:"negative-result padding walks pad[] to the nesting depth; the \
+              [v < 0] edge saturates its exercise counter before the depth \
+              grows dangerous"
+      ~detect_tags:[ "bc_pad_overrun"; "bc_pad_decl" ]
+      ~expected_miss:Bug.Hot_entry_edge ();
+  ]
+
+(* Early lines: negative results at shallow depth (saturate the v<0 edge);
+   later lines: deeply nested positive expressions. *)
+let default_input =
+  let tail =
+    (* a stretch of ordinary positive-result lines: by now the v<0 edge is
+       saturated, so only a random selection factor can re-explore it *)
+    String.concat "" (List.init 24 (fun i -> Printf.sprintf "%d+%d\n" i (i + 1)))
+  in
+  "1-5\n2-9\n3-7\n1-2\n4-9\n2-8\n((((((((2+3))))))))\n((((((((1*4))))))))\n\
+   a=3\nb=a*4\nb+a\n7%3\n((((((((b))))))))\n12/4\n" ^ tail
+
+let gen_input rng =
+  let buf = Buffer.create 256 in
+  let rec expr depth =
+    (* production-rule expression generation, as the paper does for bc *)
+    if depth > 3 || Rng.int rng 3 = 0 then
+      match Rng.int rng 3 with
+      | 0 -> string_of_int (Rng.int rng 100)
+      | 1 -> String.make 1 (Char.chr (Char.code 'a' + Rng.int rng 6))
+      | _ -> "-" ^ string_of_int (Rng.int rng 50)
+    else
+      match Rng.int rng 5 with
+      | 0 -> "(" ^ expr (depth + 1) ^ ")"
+      | 1 -> expr (depth + 1) ^ "+" ^ expr (depth + 1)
+      | 2 -> expr (depth + 1) ^ "-" ^ expr (depth + 1)
+      | 3 -> expr (depth + 1) ^ "*" ^ expr (depth + 1)
+      | _ -> expr (depth + 1) ^ "%" ^ string_of_int (1 + Rng.int rng 9)
+  in
+  let n = Rng.int_in_range rng ~lo:6 ~hi:20 in
+  for _ = 1 to n do
+    if Rng.int rng 5 = 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "%c=%s\n" (Char.chr (Char.code 'a' + Rng.int rng 6)) (expr 0))
+    else begin
+      Buffer.add_string buf (expr 0);
+      Buffer.add_char buf '\n'
+    end
+  done;
+  Buffer.contents buf
+
+let workload =
+  {
+    Workload.name = "bc-1.06";
+    descr = "expression calculator (bc stand-in)";
+    app_class = Workload.Open_source;
+    source;
+    bugs;
+    default_input;
+    gen_input;
+    max_nt_path_length = 1000;
+  }

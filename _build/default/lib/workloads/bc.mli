@@ -1,0 +1,21 @@
+(** bc-1.06 — an expression-calculator stand-in with recursive-descent
+    parsing, variables and an integer square root.
+
+    Two memory bugs matching the paper's bc results: v1 (square-root
+    scratch overrun on the cold 's' path) is detected; v2 is the paper's
+    hot-entry-edge miss — the negative-result padding edge saturates its
+    exercise counter before the nesting depth grows dangerous, and is
+    recovered by a higher threshold (par1) or the random selection factor
+    (ext2). *)
+
+(** MiniC source with the selected single bug planted. *)
+val source : bug:int option -> string
+
+val bugs : Bug.t list
+
+(** A general input that triggers none of the planted bugs. *)
+val default_input : string
+
+val gen_input : Rng.t -> string
+
+val workload : Workload.t

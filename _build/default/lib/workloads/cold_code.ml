@@ -1,0 +1,152 @@
+(* Generator for the rarely-enabled diagnostic regions every real
+   application carries (verbose modes, error paths, disabled features) and
+   the Siemens/SPEC programs have in abundance — the code whose absence
+   would make our MiniC ports' branch coverage unrealistically high.
+
+   The generated function is a chain of mode handlers behind a [diag_mode]
+   early exit that production inputs never enable:
+
+   - the early-exit's cold edge is forcible, and consistency fixing pins
+     [diag_mode] to 1, so PathExpander covers mode 1's handler fully and
+     walks the false edges of the other mode checks;
+   - the deeper handlers ([diag_mode == k], k >= 2) stay unreachable even
+     for NT-Paths (no nested forcing), keeping PathExpander's coverage
+     realistically below 100%%, as in the paper. *)
+
+(* Vary the handler bodies structurally so modes aren't clones. *)
+let mode_body k =
+  match k mod 4 with
+  | 0 ->
+    Printf.sprintf
+      {|    if (x > %d) {
+      diag_stat = diag_stat + %d;
+    } else {
+      diag_stat = diag_stat - 1;
+    }
+    if (x %% %d == 0) {
+      diag_stat = diag_stat * 2;
+    }
+|}
+      (k * 10) k (k + 2)
+  | 1 ->
+    Printf.sprintf
+      {|    int t%d = x;
+    while (t%d > %d) {
+      t%d = t%d / 2;
+      diag_stat = diag_stat + 1;
+    }
+    if (t%d == %d) {
+      diag_stat = 0;
+    }
+|}
+      k k (k + 4) k k k (k mod 3)
+  | 2 ->
+    Printf.sprintf
+      {|    if (x < 0) {
+      diag_stat = -diag_stat;
+    }
+    if (diag_stat > %d && x != %d) {
+      diag_stat = diag_stat - %d;
+    }
+|}
+      (k * 7) k k
+  | _ ->
+    Printf.sprintf
+      {|    int r%d = x %% %d;
+    if (r%d == 0) {
+      diag_stat = diag_stat + x;
+    } else if (r%d == 1) {
+      diag_stat = diag_stat - x;
+    } else {
+      diag_stat = diag_stat + 1;
+    }
+|}
+      k (k + 3) k k
+
+(* The diagnostics function source; splice [call ()] somewhere hot. *)
+let block ~modes =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    {|
+// rarely-enabled diagnostics (off unless a debug build sets diag_mode)
+int diag_mode = 0;
+int diag_stat = 0;
+
+void diag_check(int x) {
+  if (diag_mode == 0) {
+    return;
+  }
+|};
+  for k = 1 to modes do
+    Buffer.add_string buf (Printf.sprintf "  if (diag_mode == %d) {\n" k);
+    Buffer.add_string buf (mode_body k);
+    Buffer.add_string buf "  }\n"
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let call = "diag_check"
+
+(* Statistics/summary region that the memory-bug applications run once at
+   exit. Its full-capacity scans and NULL-guarded dereferences are the
+   paper's false-positive generators: forcing a scan loop's body edge at
+   its exit point *without* consistency fixing accesses one element past
+   the array (a spurious bounds report and a red-zone hit), and forcing a
+   NULL-pointer guard without fixing dereferences NULL (a spurious
+   null-check report). Key-variable fixing pins the loop index to the
+   boundary and redirects the pointers to blank structures, pruning these
+   reports — Table 5. *)
+let fp_region =
+  {|
+// end-of-run statistics (false-positive generators for forced edges)
+int fp_recent[4];
+int fp_hist[4];
+int fp_marks[4];
+int *fp_hint = NULL;
+int *fp_aux = NULL;
+int *fp_trace = NULL;
+int fp_acc = 0;
+
+void fp_summary(int x) {
+  fp_recent[0] = x;
+  fp_hist[x & 3] = x;
+  int i = 0;
+  while (i < 4) {
+    fp_acc = fp_acc + fp_recent[i];
+    i = i + 1;
+  }
+  int j = 0;
+  while (j < 4) {
+    fp_marks[j] = fp_acc + j;
+    j = j + 1;
+  }
+  int k = 0;
+  while (k < 4) {
+    fp_acc = fp_acc + fp_hist[k] * 2;
+    k = k + 1;
+  }
+  if (fp_hint != NULL) {
+    fp_acc = fp_acc + fp_hint[0];
+  }
+  if (fp_aux != NULL) {
+    fp_acc = fp_acc + fp_aux[0] + fp_aux[2];
+  }
+  if (fp_trace != NULL) {
+    fp_acc = fp_acc - fp_trace[1];
+  }
+  // guards over array elements are unfixable: their forced edges keep
+  // producing reports even with fixing on (the residual false positives)
+  if (fp_hist[0] > 100000) {
+    fp_acc = fp_acc + fp_marks[fp_hist[1] - 100000];
+  }
+  if (fp_recent[3] < -100000) {
+    fp_acc = fp_acc + fp_hist[fp_recent[2] + 100000];
+  }
+  if (fp_marks[2] == 987654) {
+    fp_acc = fp_acc + fp_recent[fp_marks[3] - 987000];
+  }
+  if (fp_acc < -100000000) {
+    print_int(fp_acc);
+  }
+}
+|}

@@ -1,0 +1,22 @@
+(** Generators for the rarely-executed code regions the ports splice in.
+
+    Real applications carry large amounts of rarely-enabled code (error
+    paths, verbose modes, disabled features); our MiniC ports are small, so
+    without this their branch coverage would be unrealistically high. See
+    EXPERIMENTS.md notes 3 and 5. *)
+
+(** A diagnostics function [diag_check] behind a [diag_mode = 0] early exit
+    that production inputs never enable. Mode 1's handler is reachable by a
+    single forced edge (PathExpander covers it); the deeper mode handlers
+    are data-guarded and stay uncovered, keeping PathExpander's coverage
+    realistically below 100%. *)
+val block : modes:int -> string
+
+(** The generated function's name, ["diag_check"]. *)
+val call : string
+
+(** An end-of-run statistics region whose full-capacity scans and
+    NULL-guarded dereferences are the Table 5 false-positive generators;
+    includes unfixable guards whose spurious reports survive fixing (the
+    residual false positives). Defines [fp_summary]. *)
+val fp_region : string

@@ -1,0 +1,266 @@
+(* 099.go — a Go-position evaluator standing in for SPEC95's 099.go: a
+   19x19 board is synthesised from a seeded LCG, then scored by group
+   search (explicit-stack DFS), liberty counting, territory estimation and
+   a bag of branch-heavy pattern heuristics. Output happens only at the
+   end, so NT-Paths almost never meet unsafe events — reproducing go's
+   Figure 3 shape (fewer than 1%% of NT-Paths stop before 1000
+   instructions).
+
+   Two planted memory bugs, both of the paper's go category (missed even
+   with PathExpander unless a special input is used): the buggy writes sit
+   behind guards over board *data* — a ko marker value and a long-wall
+   count — that the synthesised boards never produce, so even the forced
+   edge executes the handlers in a harmless state. *)
+
+let v bug k ~good ~bad = if bug = Some k then bad else good
+
+let source ~bug =
+  Printf.sprintf
+    {|
+// go: position evaluator (099.go stand-in)
+
+int board[361];
+int visited[361];
+int stack[361];
+int captab[12];                              //@tag go_captab_decl
+int walls[8];                                //@tag go_walls_decl
+
+int seed = 1;
+int ko_count = 0;
+int wall_n = 0;
+int score = 0;
+
+int lcg() {
+  seed = seed * 1103515245 + 12345;
+  int r = seed >> 16;
+  if (r < 0) {
+    r = -r;
+  }
+  return r;
+}
+
+void fill_board(int density) {
+  int i = 0;
+  while (i < 361) {
+    int r = lcg() %% 100;
+    if (r < density) {
+      board[i] = 1;
+    } else if (r < density * 2) {
+      board[i] = 2;
+    } else {
+      board[i] = 0;
+    }
+    visited[i] = 0;
+    i = i + 1;
+  }
+}
+
+int row_of(int idx) {
+  return idx / 19;
+}
+
+int col_of(int idx) {
+  return idx %% 19;
+}
+
+// liberties of the group containing idx (explicit-stack flood fill)
+int group_liberties(int idx) {
+  int color = board[idx];
+  if (color == 0) {
+    return 0;
+  }
+  int libs = 0;
+  int sp = 0;
+  stack[sp] = idx;
+  sp = sp + 1;
+  visited[idx] = 1;
+  while (sp > 0) {
+    sp = sp - 1;
+    int cur = stack[sp];
+    int r = row_of(cur);
+    int c = col_of(cur);
+    int d = 0;
+    while (d < 4) {
+      int nb = cur;
+      if (d == 0 && r > 0) { nb = cur - 19; }
+      if (d == 1 && r < 18) { nb = cur + 19; }
+      if (d == 2 && c > 0) { nb = cur - 1; }
+      if (d == 3 && c < 18) { nb = cur + 1; }
+      if (nb != cur) {
+        if (board[nb] == 0) {
+          libs = libs + 1;
+        } else if (board[nb] == color && visited[nb] == 0) {
+          if (sp < 360) {
+            visited[nb] = 1;
+            stack[sp] = nb;
+            sp = sp + 1;
+          }
+        } else if (board[nb] == 3) {
+          // ko marker bookkeeping: value 3 never occurs in synthesised boards
+          %s                                 //@tag go_ko_overrun
+          ko_count = ko_count + 1;
+        }
+      }
+      d = d + 1;
+    }
+  }
+  return libs;
+}
+
+// long straight walls of one colour feed the influence heuristic
+void scan_walls() {
+  int r = 0;
+  while (r < 19) {
+    int c = 0;
+    while (c < 13) {
+      int base = r * 19 + c;
+      int k = 0;
+      int run = 0;
+      while (k < 6) {
+        if (board[base + k] == 2) {
+          run = run + 1;
+        }
+        k = k + 1;
+      }
+      if (run == 6) {
+        // a six-stone wall: synthesised boards top out below six
+        %s                                   //@tag go_wall_overrun
+        wall_n = wall_n + 1;
+      }
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+}
+
+int atari_bonus(int idx) {
+  int libs = group_liberties(idx);
+  if (libs == 1) {
+    return 8;
+  }
+  if (libs == 2) {
+    return 3;
+  }
+  return 0;
+}
+
+int territory() {
+  int t = 0;
+  int i = 0;
+  while (i < 361) {
+    if (board[i] == 0) {
+      int black = 0;
+      int white = 0;
+      int r = row_of(i);
+      int c = col_of(i);
+      if (r > 0 && board[i - 19] == 1) { black = black + 1; }
+      if (r > 0 && board[i - 19] == 2) { white = white + 1; }
+      if (r < 18 && board[i + 19] == 1) { black = black + 1; }
+      if (r < 18 && board[i + 19] == 2) { white = white + 1; }
+      if (c > 0 && board[i - 1] == 1) { black = black + 1; }
+      if (c > 0 && board[i - 1] == 2) { white = white + 1; }
+      if (c < 18 && board[i + 1] == 1) { black = black + 1; }
+      if (c < 18 && board[i + 1] == 2) { white = white + 1; }
+      if (black > 0 && white == 0) {
+        t = t + 1;
+      }
+      if (white > 0 && black == 0) {
+        t = t - 1;
+      }
+    }
+    i = i + 1;
+  }
+  return t;
+}
+
+void evaluate() {
+  int i = 0;
+  while (i < 361) {
+    visited[i] = 0;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < 361) {
+    if (board[i] == 1 && visited[i] == 0) {
+      score = score + atari_bonus(i);
+    }
+    if (board[i] == 2 && visited[i] == 0) {
+      score = score - atari_bonus(i);
+    }
+    i = i + 1;
+  }
+  score = score + territory();
+  scan_walls();
+  diag_check(score);
+  score = score + wall_n * 5;
+}
+
+int read_int() {
+  int c = getc();
+  while (c != -1 && !(c >= '0' && c <= '9')) {
+    c = getc();
+  }
+  int value = 0;
+  while (c >= '0' && c <= '9') {
+    value = value * 10 + (c - '0');
+    c = getc();
+  }
+  return value;
+}
+
+int main() {
+  seed = read_int();
+  int rounds = read_int();
+  if (rounds < 1) {
+    rounds = 1;
+  }
+  int round = 0;
+  while (round < rounds) {
+    fill_board(18 + round %% 5);
+    evaluate();
+    round = round + 1;
+  }
+  fp_summary(score);
+  print_str("score ");
+  print_int(score);
+  print_nl();
+  return 0;
+}
+|}
+    (v bug 1 ~good:"if (ko_count < 12) { captab[ko_count] = nb; }"
+       ~bad:"captab[ko_count] = nb;")
+    (v bug 2 ~good:"if (wall_n < 8) { walls[wall_n] = base; }"
+       ~bad:"walls[wall_n] = base;")
+  ^ Cold_code.fp_region
+  ^ Cold_code.block ~modes:15
+
+let bugs =
+  [
+    Bug.make ~id:"go-v1" ~version:1 ~kind:Bug.Memory
+      ~descr:"ko bookkeeping writes captab[ko_count] unchecked; needs a \
+              board with ko markers, which synthesised boards never contain"
+      ~detect_tags:[ "go_ko_overrun"; "go_captab_decl" ]
+      ~expected_miss:Bug.Special_input ();
+    Bug.make ~id:"go-v2" ~version:2 ~kind:Bug.Memory
+      ~descr:"wall influence writes walls[wall_n] unchecked; needs a board \
+              with six-stone walls"
+      ~detect_tags:[ "go_wall_overrun"; "go_walls_decl" ]
+      ~expected_miss:Bug.Special_input ();
+  ]
+
+let default_input = "7 3\n"
+
+let gen_input rng =
+  Printf.sprintf "%d %d\n" (1 + Rng.int rng 1000) (1 + Rng.int rng 4)
+
+let workload =
+  {
+    Workload.name = "099.go";
+    descr = "Go position evaluator (SPEC95 stand-in)";
+    app_class = Workload.Spec;
+    source;
+    bugs;
+    default_input;
+    gen_input;
+    max_nt_path_length = 1000;
+  }

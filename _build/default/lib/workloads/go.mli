@@ -1,0 +1,20 @@
+(** 099.go — a Go-position evaluator standing in for SPEC95's 099.go:
+    flood-fill group search, liberties, territory and pattern heuristics
+    over LCG-synthesised boards, with output only at the end (so NT-Paths
+    rarely meet unsafe events — the Figure 3 shape).
+
+    Two memory bugs of the paper's go category: both sit behind guards over
+    board data the synthesised boards never produce, so they are missed
+    even by PathExpander unless a special input is used. *)
+
+(** MiniC source with the selected single bug planted. *)
+val source : bug:int option -> string
+
+val bugs : Bug.t list
+
+(** A general input that triggers none of the planted bugs. *)
+val default_input : string
+
+val gen_input : Rng.t -> string
+
+val workload : Workload.t

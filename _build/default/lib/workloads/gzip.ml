@@ -1,0 +1,175 @@
+(* 164.gzip — an LZ77 compressor standing in for SPEC2000's 164.gzip:
+   hash-chained longest-match search over the input buffer, emitting
+   literal and (length, distance) match tokens as output characters. The
+   emit path runs constantly, so NT-Paths frequently reach a [putc]
+   unsafe event before their instruction budget — reproducing gzip's
+   Figure 3 shape (most early NT-Path stops are unsafe events, not
+   crashes). No planted bugs: gzip serves the crash-latency, overhead,
+   ablation and parameter studies. *)
+
+let source ~bug =
+  ignore bug;
+  {|
+// gzip: LZ77 compressor (164.gzip stand-in)
+
+char inbuf[8192];
+int ilen = 0;
+
+int head[256];
+int prev[8192];
+
+int literals = 0;
+int matches = 0;
+int out_bytes = 0;
+
+char obuf[512];
+int opos = 0;
+
+void read_input() {
+  int c = getc();
+  while (c != -1 && ilen < 8191) {
+    inbuf[ilen] = c;
+    ilen = ilen + 1;
+    c = getc();
+  }
+}
+
+int hash_at(int pos) {
+  int h = inbuf[pos] * 31 + inbuf[pos + 1];
+  h = h % 256;
+  if (h < 0) {
+    h = h + 256;
+  }
+  return h;
+}
+
+int match_length(int a, int b, int limit) {
+  int n = 0;
+  while (n < limit && a + n < ilen && inbuf[a + n] == inbuf[b + n]) {
+    n = n + 1;
+  }
+  return n;
+}
+
+// block-buffered output, flushed every 256 bytes like the real deflate
+void out_flush() {
+  int i = 0;
+  while (i < opos) {
+    putc(obuf[i]);
+    i = i + 1;
+  }
+  opos = 0;
+}
+
+void out_byte(int c) {
+  if (opos >= 256) {
+    out_flush();
+  }
+  obuf[opos] = c;
+  opos = opos + 1;
+  out_bytes = out_bytes + 1;
+}
+
+void emit_literal(int c) {
+  out_byte('L');
+  out_byte(c);
+  literals = literals + 1;
+}
+
+void emit_match(int len, int dist) {
+  out_byte('M');
+  out_byte('0' + len % 10);
+  out_byte('0' + dist % 10);
+  matches = matches + 1;
+}
+
+int main() {
+  read_input();
+  int i = 0;
+  while (i < 256) {
+    head[i] = -1;
+    i = i + 1;
+  }
+  int pos = 0;
+  while (pos + 2 < ilen) {
+    int h = hash_at(pos);
+    int best_len = 0;
+    int best_dist = 0;
+    int cand = head[h];
+    int chain = 0;
+    while (cand >= 0 && chain < 16) {
+      if (pos - cand < 4096) {
+        int len = match_length(pos, cand, 32);
+        if (len > best_len) {
+          best_len = len;
+          best_dist = pos - cand;
+        }
+      }
+      cand = prev[cand];
+      chain = chain + 1;
+    }
+    prev[pos] = head[h];
+    head[h] = pos;
+    diag_check(pos);
+    if (best_len >= 3) {
+      emit_match(best_len, best_dist);
+      // insert the skipped positions into the chains too
+      int k = 1;
+      while (k < best_len && pos + k + 2 < ilen) {
+        int h2 = hash_at(pos + k);
+        prev[pos + k] = head[h2];
+        head[h2] = pos + k;
+        k = k + 1;
+      }
+      pos = pos + best_len;
+    } else {
+      emit_literal(inbuf[pos]);
+      pos = pos + 1;
+    }
+  }
+  while (pos < ilen) {
+    emit_literal(inbuf[pos]);
+    pos = pos + 1;
+  }
+  out_flush();
+  print_nl();
+  print_str("lit ");
+  print_int(literals);
+  print_str(" match ");
+  print_int(matches);
+  print_nl();
+  return 0;
+}
+|}
+  ^ Cold_code.block ~modes:12
+
+let bugs = []
+
+let default_input =
+  let buf = Buffer.create 2048 in
+  let rng = Rng.create 42 in
+  let words = [ "the "; "quick "; "brown "; "fox "; "jumps "; "over "; "lazy "; "dog " ] in
+  for _ = 1 to 220 do
+    Buffer.add_string buf (Rng.choose rng words)
+  done;
+  Buffer.contents buf
+
+let gen_input rng =
+  let buf = Buffer.create 1024 in
+  let words = [ "aaa "; "abab "; "data "; "test "; "block "; "zzz " ] in
+  for _ = 1 to Rng.int_in_range rng ~lo:60 ~hi:240 do
+    Buffer.add_string buf (Rng.choose rng words)
+  done;
+  Buffer.contents buf
+
+let workload =
+  {
+    Workload.name = "164.gzip";
+    descr = "LZ77 compressor (SPEC2000 stand-in)";
+    app_class = Workload.Spec;
+    source;
+    bugs;
+    default_input;
+    gen_input;
+    max_nt_path_length = 1000;
+  }

@@ -1,0 +1,16 @@
+(** 164.gzip — an LZ77 compressor standing in for SPEC2000's 164.gzip:
+    hash-chained longest-match search with block-buffered token output. No
+    planted bugs; used by the crash-latency, overhead, ablation and
+    parameter studies. *)
+
+(** MiniC source with the selected single bug planted. *)
+val source : bug:int option -> string
+
+val bugs : Bug.t list
+
+(** A general input that triggers none of the planted bugs. *)
+val default_input : string
+
+val gen_input : Rng.t -> string
+
+val workload : Workload.t

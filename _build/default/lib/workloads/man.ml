@@ -1,0 +1,224 @@
+(* man-1.5h1 — a man-page formatter stand-in: processes roff-style directive
+   lines (.TH .SH .B .I .PP .so) and word-wraps body text.
+
+   One planted memory bug, reproducing the paper's man result including its
+   Table 5 behaviour: the [.so]-include state pointer is NULL in common
+   runs. Forcing the [so_ptr != NULL] edge *without* consistency fixing
+   dereferences NULL and the NT-Path crashes before the buggy copy loop —
+   the bug is missed and a spurious null-check report is filed. *With*
+   pointer fixing, [so_ptr] is redirected to the blank structure, the copy
+   loop runs, and its missing bound check overruns [so_target] — detected
+   only after fixing ([needs_fixing]). *)
+
+let v bug k ~good ~bad = if bug = Some k then bad else good
+
+let source ~bug =
+  Printf.sprintf
+    {|
+// man: roff-ish man page formatter (man-1.5h1 stand-in)
+
+char ibuf[4096];
+int ilen = 0;
+int icur = 0;
+
+char line[128];
+int llen = 0;
+
+char so_target[8];                           //@tag man_so_decl
+char *so_ptr = NULL;
+char *cur_font = NULL;
+char *trailer = NULL;
+
+int line_no = 0;
+int width = 60;
+int col = 0;
+int section_no = 0;
+int bold_words = 0;
+
+void read_input() {
+  int c = getc();
+  while (c != -1 && ilen < 4095) {
+    ibuf[ilen] = c;
+    ilen = ilen + 1;
+    c = getc();
+  }
+}
+
+int next_line() {
+  if (icur >= ilen) {
+    return 0;
+  }
+  llen = 0;
+  while (icur < ilen && ibuf[icur] != 10) {
+    if (llen < 126) {
+      line[llen] = ibuf[icur];
+      llen = llen + 1;
+    }
+    icur = icur + 1;
+  }
+  icur = icur + 1;
+  line[llen] = 0;
+  line_no = line_no + 1;
+  return 1;
+}
+
+void out_char(int c) {
+  putc(c);
+  col = col + 1;
+  if (col >= width) {
+    putc(10);
+    col = 0;
+  }
+}
+
+void out_word(char *w, int from) {
+  int i = from;
+  while (w[i] != 0 && w[i] != ' ') {
+    out_char(w[i]);
+    i = i + 1;
+  }
+  out_char(' ');
+}
+
+// the .so include machinery: so_ptr is only ever set by a .so directive,
+// which common pages don't contain
+void check_include() {
+  if (so_ptr != NULL) {
+    int i = 0;
+    while (%s) {
+      int c = so_ptr[i];
+      so_target[i] = c;                      //@tag man_so_overrun
+      i = i + 1;
+    }
+  }
+}
+
+void directive() {
+  if (line[1] == 'T' && line[2] == 'H') {
+    // title header
+    putc(10);
+    out_word(line, 4);
+    putc(10);
+    col = 0;
+    return;
+  }
+  if (line[1] == 'S' && line[2] == 'H') {
+    section_no = section_no + 1;
+    putc(10);
+    print_int(section_no);
+    putc(' ');
+    out_word(line, 4);
+    putc(10);
+    col = 0;
+    return;
+  }
+  if (line[1] == 'B') {
+    bold_words = bold_words + 1;
+    if (cur_font != NULL) {
+      // font escape state — NULL in common runs (false-positive generator)
+      out_char(cur_font[0]);
+    }
+    out_word(line, 3);
+    return;
+  }
+  if (line[1] == 'I') {
+    out_word(line, 3);
+    return;
+  }
+  if (line[1] == 'P' && line[2] == 'P') {
+    putc(10);
+    col = 0;
+    return;
+  }
+  if (line[1] == 's' && line[2] == 'o') {
+    so_ptr = line + 4;
+    check_include();
+    so_ptr = NULL;
+    return;
+  }
+}
+
+void body_line() {
+  int i = 0;
+  while (i < llen) {
+    if (line[i] == ' ') {
+      out_char(' ');
+      i = i + 1;
+    } else {
+      out_word(line, i);
+      while (i < llen && line[i] != ' ') {
+        i = i + 1;
+      }
+    }
+  }
+}
+
+int main() {
+  read_input();
+  while (next_line() == 1) {
+    check_include();
+    diag_check(line_no);
+    if (llen > 1 && line[0] == '.') {
+      directive();
+    } else {
+      body_line();
+    }
+  }
+  fp_summary(line_no);
+  if (trailer != NULL) {
+    out_word(trailer, 0);
+  }
+  putc(10);
+  return 0;
+}
+|}
+    (v bug 1 ~good:"i < 8 && so_ptr[i] != 0" ~bad:"i <= line_no + 7")
+  ^ Cold_code.fp_region
+  ^ Cold_code.block ~modes:10
+
+let bugs =
+  [
+    Bug.make ~id:"man-v1" ~version:1 ~kind:Bug.Memory
+      ~descr:"the .so include copy loop has no bound: overruns so_target; \
+              reachable only after the NULL so_ptr is fixed to a blank \
+              structure"
+      ~detect_tags:[ "man_so_overrun"; "man_so_decl" ]
+      ~needs_fixing:true ()
+  ]
+
+let default_input =
+  ".TH LS 1\n.SH NAME\nls list directory contents\n.SH SYNOPSIS\n\
+   .B ls\noption file\n.SH DESCRIPTION\nlist information about the files\n\
+   .PP\nsorted alphabetically by default\nthe output is columnated\n"
+
+let gen_input rng =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ".TH PAGE 1\n";
+  let words = [ "file"; "list"; "show"; "the"; "output"; "data"; "info" ] in
+  let n = Rng.int_in_range rng ~lo:5 ~hi:15 in
+  for _ = 1 to n do
+    (match Rng.int rng 8 with
+     | 0 -> Buffer.add_string buf ".SH SECTION\n"
+     | 1 -> Buffer.add_string buf (".B " ^ Rng.choose rng words ^ "\n")
+     | 2 -> Buffer.add_string buf (".I " ^ Rng.choose rng words ^ "\n")
+     | 3 -> Buffer.add_string buf ".PP\n"
+     | _ ->
+       for _ = 1 to Rng.int_in_range rng ~lo:2 ~hi:6 do
+         Buffer.add_string buf (Rng.choose rng words);
+         Buffer.add_char buf ' '
+       done;
+       Buffer.add_char buf '\n')
+  done;
+  Buffer.contents buf
+
+let workload =
+  {
+    Workload.name = "man-1.5h1";
+    descr = "man page formatter (man stand-in)";
+    app_class = Workload.Open_source;
+    source;
+    bugs;
+    default_input;
+    gen_input;
+    max_nt_path_length = 1000;
+  }

@@ -1,0 +1,19 @@
+(** man-1.5h1 — a roff-ish man-page formatter stand-in.
+
+    One memory bug with the paper's Table 5 signature: the .so-include copy
+    loop overrun is reachable only after pointer fixing redirects the NULL
+    include pointer to a blank structure ([needs_fixing]); without fixing
+    the forced edge crashes on the NULL dereference and files a spurious
+    null-check report instead. *)
+
+(** MiniC source with the selected single bug planted. *)
+val source : bug:int option -> string
+
+val bugs : Bug.t list
+
+(** A general input that triggers none of the planted bugs. *)
+val default_input : string
+
+val gen_input : Rng.t -> string
+
+val workload : Workload.t

@@ -1,0 +1,168 @@
+(* 197.parser — a dictionary word-segmenter standing in for SPEC2000's
+   197.parser: sentences arrive as unbroken letter streams and are
+   segmented against a word dictionary by backtracking search, printing the
+   segmentation of each sentence. No planted bugs: parser serves the
+   overhead studies. *)
+
+let source ~bug =
+  ignore bug;
+  {|
+// parser: dictionary segmenter (197.parser stand-in)
+
+char ibuf[4096];
+int ilen = 0;
+int icur = 0;
+
+char sentence[128];
+int slen = 0;
+
+char dict[256] = "the cat sat on a mat dog ran big red sun is in it at an ox";
+int starts[64];
+int lens[64];
+int n_words = 0;
+
+int parsed_words = 0;
+int failures = 0;
+
+void build_dict() {
+  int i = 0;
+  int start = 0;
+  n_words = 0;
+  while (dict[i] != 0) {
+    if (dict[i] == ' ') {
+      if (i > start && n_words < 64) {
+        starts[n_words] = start;
+        lens[n_words] = i - start;
+        n_words = n_words + 1;
+      }
+      start = i + 1;
+    }
+    i = i + 1;
+  }
+  if (i > start && n_words < 64) {
+    starts[n_words] = start;
+    lens[n_words] = i - start;
+    n_words = n_words + 1;
+  }
+}
+
+void read_input() {
+  int c = getc();
+  while (c != -1 && ilen < 4095) {
+    ibuf[ilen] = c;
+    ilen = ilen + 1;
+    c = getc();
+  }
+}
+
+int next_sentence() {
+  if (icur >= ilen) {
+    return 0;
+  }
+  slen = 0;
+  while (icur < ilen && ibuf[icur] != 10) {
+    if (slen < 126) {
+      sentence[slen] = ibuf[icur];
+      slen = slen + 1;
+    }
+    icur = icur + 1;
+  }
+  icur = icur + 1;
+  return 1;
+}
+
+// does dictionary word w match the sentence at position pos?
+int word_at(int w, int pos) {
+  int i = 0;
+  while (i < lens[w]) {
+    if (pos + i >= slen) {
+      return 0;
+    }
+    if (sentence[pos + i] != dict[starts[w] + i]) {
+      return 0;
+    }
+    i = i + 1;
+  }
+  return 1;
+}
+
+// backtracking segmentation; returns the number of words or -1
+int segment(int pos, int depth) {
+  if (pos >= slen) {
+    return 0;
+  }
+  if (depth > 40) {
+    return -1;
+  }
+  int w = 0;
+  while (w < n_words) {
+    if (word_at(w, pos)) {
+      int rest = segment(pos + lens[w], depth + 1);
+      if (rest >= 0) {
+        // emit this word as part of the chosen segmentation
+        int i = 0;
+        while (i < lens[w]) {
+          putc(dict[starts[w] + i]);
+          i = i + 1;
+        }
+        putc(' ');
+        return rest + 1;
+      }
+    }
+    w = w + 1;
+  }
+  return -1;
+}
+
+int main() {
+  build_dict();
+  read_input();
+  while (next_sentence() == 1) {
+    int words = segment(0, 0);
+    diag_check(slen);
+    if (words >= 0) {
+      parsed_words = parsed_words + words;
+    } else {
+      failures = failures + 1;
+      print_str("??");
+    }
+    print_nl();
+  }
+  print_str("words ");
+  print_int(parsed_words);
+  print_str(" fail ");
+  print_int(failures);
+  print_nl();
+  return 0;
+}
+|}
+  ^ Cold_code.block ~modes:8
+
+let bugs = []
+
+let default_input =
+  "thecatsatonamat\nthedogranbig\nthesunisbigandred\nanoxatamat\n\
+   theredcatranonthemat\nthebigdogsatinthesun\n"
+
+let gen_input rng =
+  let buf = Buffer.create 256 in
+  let words = [ "the"; "cat"; "sat"; "on"; "a"; "mat"; "dog"; "ran"; "big"; "red" ] in
+  for _ = 1 to Rng.int_in_range rng ~lo:3 ~hi:8 do
+    for _ = 1 to Rng.int_in_range rng ~lo:3 ~hi:7 do
+      Buffer.add_string buf (Rng.choose rng words)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let workload =
+  {
+    Workload.name = "197.parser";
+    descr = "dictionary word segmenter (SPEC2000 stand-in)";
+    app_class = Workload.Spec;
+    source;
+    bugs;
+    default_input;
+    gen_input;
+    max_nt_path_length = 1000;
+  }

@@ -1,0 +1,15 @@
+(** 197.parser — a dictionary word-segmenter standing in for SPEC2000's
+    197.parser: backtracking segmentation of unbroken letter streams. No
+    planted bugs; used by the overhead studies. *)
+
+(** MiniC source with the selected single bug planted. *)
+val source : bug:int option -> string
+
+val bugs : Bug.t list
+
+(** A general input that triggers none of the planted bugs. *)
+val default_input : string
+
+val gen_input : Rng.t -> string
+
+val workload : Workload.t

@@ -1,0 +1,328 @@
+(* print_tokens — Siemens-suite lexical analyser, re-implemented in MiniC.
+
+   Reads a character stream and emits one classified token per line:
+   identifiers, numerics, keywords, specials, string constants, character
+   constants, comments and error tokens. Seven single-bug versions mirror the
+   Siemens methodology; all bugs are semantic and sit on paths that common
+   inputs never take (string/char/comment/keyword handling), so assertions
+   only see them when PathExpander forces the corresponding edges.
+
+   Expected PathExpander outcomes (engineered per the Section 7.1 taxonomy):
+   v1-v5 detected; v6 missed (value coverage: needs a long numeral in the
+   input); v7 missed (special input: the buggy escape decodes wrongly only
+   for a control character that text inputs never contain). *)
+
+let v bug k ~good ~bad = if bug = Some k then bad else good
+
+let source ~bug =
+  Printf.sprintf
+    {|
+// print_tokens: stream tokenizer (Siemens suite port)
+
+char input[2048];
+int input_len = 0;
+int cursor = 0;
+
+char tok[24];
+int tok_len = 0;
+
+int kw_count = 6;
+char kw0[8] = "and";
+char kw1[8] = "or";
+char kw2[8] = "if";
+char kw3[8] = "xor";
+char kw4[8] = "lambda";
+char kw5[8] = "=>";
+
+void read_input() {
+  int c = getc();
+  while (c != -1 && input_len < 2047) {
+    input[input_len] = c;
+    input_len = input_len + 1;
+    c = getc();
+  }
+  input[input_len] = 0;
+}
+
+int get_char() {
+  if (cursor >= input_len) {
+    return -1;
+  }
+  int c = input[cursor];
+  cursor = cursor + 1;
+  return c;
+}
+
+int peek_char() {
+  if (cursor >= input_len) {
+    return -1;
+  }
+  return input[cursor];
+}
+
+void emit(char *kind) {
+  print_str(kind);
+  putc('(');
+  int i = 0;
+  while (i < tok_len) {
+    putc(tok[i]);
+    i = i + 1;
+  }
+  putc(')');
+  print_nl();
+}
+
+int keyword_id() {
+  char *kw = kw0;
+  int id = 0;
+  while (id < kw_count) {
+    if (id == 0) { kw = kw0; }
+    if (id == 1) { kw = kw1; }
+    if (id == 2) { kw = kw2; }
+    if (id == 3) { kw = kw3; }
+    if (id == 4) { kw = kw4; }
+    if (id == 5) { kw = kw5; }
+    tok[tok_len] = 0;
+    if (strcmp(tok, kw) == 0) {
+      %s
+      assert(id >= 0 && id < 6);     //@tag pt_assert3
+      return id + 1;
+    }
+    id = id + 1;
+  }
+  return 0;
+}
+
+int special_id(int c) {
+  int id = 9;
+  if (c == '(') { id = 0; }
+  if (c == ')') { id = 1; }
+  if (c == '[') { id = 2; }
+  if (c == ']') { id = 3; }
+  if (c == 96) { id = 4; }
+  if (c == ',') { id = 5; }
+  if (c == '=') {
+    if (peek_char() == '>') {
+      get_char();
+      id = 6;
+    } else {
+      id = 7;
+    }
+    %s
+  }
+  if (c == 39) { id = 8; }
+  assert(id <= 9);                   //@tag pt_assert5
+  return id;
+}
+
+void scan_string() {
+  // string constant: '"' already consumed
+  int limit = %s;
+  int c = get_char();
+  int decoded = 1;
+  while (c != '"' && c != -1) {
+    if (c == 92) {
+      // escape sequence inside string constant
+      int esc = get_char();
+      %s
+      assert(decoded != 0);          //@tag pt_assert7
+    }
+    if (tok_len < limit) {
+      tok[tok_len] = c;
+      tok_len = tok_len + 1;
+    }
+    assert(tok_len <= 2);            //@tag pt_assert1
+    c = get_char();
+  }
+  emit("STRING");
+}
+
+void scan_comment() {
+  %s
+  assert(tok_len >= 0);              //@tag pt_assert2
+  int c = get_char();
+  while (c != 10 && c != -1) {
+    if (tok_len < 18) {
+      tok[tok_len] = c;
+      tok_len = tok_len + 1;
+    }
+    c = get_char();
+  }
+  emit("COMMENT");
+}
+
+void scan_char_constant() {
+  // '#' introduces a character constant: exactly one char
+  int c = get_char();
+  tok[0] = c;
+  tok_len = 1;
+  %s
+  assert(tok_len == 1);              //@tag pt_assert4
+  emit("CHARACTER");
+}
+
+void scan_numeric(int first) {
+  tok[0] = first;
+  tok_len = 1;
+  int value = first - '0';
+  int last_digit = first - '0';
+  int clean = 1;
+  int c = peek_char();
+  while (is_digit(c)) {
+    get_char();
+    value = value * 10 + (c - '0');
+    %s
+    clean = clean & is_digit(c);
+    last_digit = c - '0';
+    if (tok_len < 18) {
+      tok[tok_len] = c;
+      tok_len = tok_len + 1;
+    }
+    c = peek_char();
+  }
+  assert(clean == 0 || value < 0 || value %% 10 == last_digit %% 10);  //@tag pt_assert6
+  emit("NUMERIC");
+}
+
+void scan_identifier(int first) {
+  tok[0] = first;
+  tok_len = 1;
+  int c = peek_char();
+  while (is_alpha(c) || is_digit(c) || c == '=' || c == '>') {
+    get_char();
+    if (tok_len < 18) {
+      tok[tok_len] = c;
+      tok_len = tok_len + 1;
+    }
+    c = peek_char();
+  }
+  int kid = keyword_id();
+  if (kid > 0) {
+    emit("KEYWORD");
+  } else {
+    emit("IDENTIFIER");
+  }
+}
+
+void next_token() {
+  int c = get_char();
+  while (is_space(c)) {
+    c = get_char();
+  }
+  if (c == -1) {
+    return;
+  }
+  tok_len = 0;
+  diag_check(c);
+  if (c == '"') {
+    scan_string();
+    return;
+  }
+  if (c == ';') {
+    scan_comment();
+    return;
+  }
+  if (c == '#') {
+    scan_char_constant();
+    return;
+  }
+  if (is_digit(c)) {
+    scan_numeric(c);
+    return;
+  }
+  if (is_alpha(c) || c == '=') {
+    scan_identifier(c);
+    return;
+  }
+  int sid = special_id(c);
+  if (sid < 9) {
+    tok[0] = c;
+    tok_len = 1;
+    emit("SPECIAL");
+  } else {
+    tok[0] = c;
+    tok_len = 1;
+    emit("ERROR");
+  }
+}
+
+int main() {
+  read_input();
+  while (cursor < input_len) {
+    next_token();
+  }
+  print_str("EOF");
+  print_nl();
+  return 0;
+}
+|}
+    (v bug 3 ~good:"" ~bad:"id = id + 4;")
+    (v bug 5 ~good:"" ~bad:"id = id + 4;")
+    (v bug 1 ~good:"2" ~bad:"22")
+    (v bug 7 ~good:"decoded = esc;" ~bad:"decoded = esc; if (esc == 7) { decoded = 0; }")
+    (v bug 2 ~good:"" ~bad:"tok_len = -1;")
+    (v bug 4 ~good:"" ~bad:"tok[1] = peek_char(); tok_len = 2;")
+    (v bug 6 ~good:"" ~bad:"value = value - (value / 100000) * 17;")
+  ^ Cold_code.block ~modes:9
+
+let bugs =
+  [
+    Bug.make ~id:"print_tokens-v1" ~version:1 ~kind:Bug.Semantic
+      ~descr:"string scanner clamps the token at 22 instead of 2 chars"
+      ~detect_tags:[ "pt_assert1" ] ();
+    Bug.make ~id:"print_tokens-v2" ~version:2 ~kind:Bug.Semantic
+      ~descr:"comment scanner corrupts the token length"
+      ~detect_tags:[ "pt_assert2" ] ();
+    Bug.make ~id:"print_tokens-v3" ~version:3 ~kind:Bug.Semantic
+      ~descr:"keyword id advances by four, escaping the keyword-id range"
+      ~detect_tags:[ "pt_assert3" ] ();
+    Bug.make ~id:"print_tokens-v4" ~version:4 ~kind:Bug.Semantic
+      ~descr:"character constant scanner consumes two characters"
+      ~detect_tags:[ "pt_assert4" ] ();
+    Bug.make ~id:"print_tokens-v5" ~version:5 ~kind:Bug.Semantic
+      ~descr:"'=' special produces an out-of-range symbol class"
+      ~detect_tags:[ "pt_assert5" ] ();
+    Bug.make ~id:"print_tokens-v6" ~version:6 ~kind:Bug.Semantic
+      ~descr:"numerals above 99999 silently corrupted (needs a long numeral)"
+      ~detect_tags:[ "pt_assert6" ]
+      ~expected_miss:Bug.Value_coverage ();
+    Bug.make ~id:"print_tokens-v7" ~version:7 ~kind:Bug.Semantic
+      ~descr:"escape of a BEL character decodes to zero (needs special input)"
+      ~detect_tags:[ "pt_assert7" ]
+      ~expected_miss:Bug.Special_input ();
+  ]
+
+let default_input = "alpha beta 42 ( foo 17 ) [ bar ] gamma 9 delta ( 3 ) x1 y2\n"
+
+let gen_input rng =
+  let buf = Buffer.create 128 in
+  let idents = [ "alpha"; "beta"; "gamma"; "delta"; "count"; "x1"; "y2"; "tmp" ] in
+  let n = Rng.int_in_range rng ~lo:8 ~hi:30 in
+  for _ = 1 to n do
+    (match Rng.int rng 10 with
+     | 0 | 1 | 2 -> Buffer.add_string buf (Rng.choose rng idents)
+     | 3 | 4 -> Buffer.add_string buf (string_of_int (Rng.int rng 1000))
+     | 5 -> Buffer.add_string buf (Rng.choose rng [ "("; ")"; "["; "]"; "," ])
+     | 6 -> Buffer.add_string buf (Rng.choose rng [ "and"; "or"; "if"; "xor" ])
+     | 7 ->
+       (* occasionally a rare construct so cumulative coverage grows *)
+       if Rng.int rng 4 = 0 then
+         Buffer.add_string buf (Rng.choose rng [ "\"st r\""; "#a"; "; note" ])
+       else Buffer.add_string buf (Rng.choose rng idents)
+     | _ -> Buffer.add_string buf (Rng.choose rng idents));
+    Buffer.add_char buf (if Rng.int rng 6 = 0 then '\n' else ' ')
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let workload =
+  {
+    Workload.name = "print_tokens";
+    descr = "Siemens lexical analyser";
+    app_class = Workload.Siemens;
+    source;
+    bugs;
+    default_input;
+    gen_input;
+    max_nt_path_length = 500;
+  }

@@ -1,0 +1,18 @@
+(** print_tokens — the Siemens lexical analyser, ported to MiniC.
+
+    Seven semantic single-bug versions in the string / comment / keyword /
+    character-constant / special-symbol / numeric scanners. Expected
+    PathExpander outcomes: v1-v5 detected; v6 missed (value coverage) and
+    v7 missed (special input), per the Section 7.1 taxonomy. *)
+
+(** MiniC source with the selected single bug planted. *)
+val source : bug:int option -> string
+
+val bugs : Bug.t list
+
+(** A general input that triggers none of the planted bugs. *)
+val default_input : string
+
+val gen_input : Rng.t -> string
+
+val workload : Workload.t

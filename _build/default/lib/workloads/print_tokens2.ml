@@ -1,0 +1,346 @@
+(* print_tokens2 — the second Siemens tokenizer, re-implemented in MiniC.
+
+   Unlike print_tokens, this variant first copies a whitespace-delimited
+   token into a fixed buffer ([get_token]) and then classifies it with
+   predicate functions — exactly the structure in which the paper's Figure 1
+   bug lives: version 10's [is_str_constant] scans for the closing quote
+   with no bound check, overrunning the token buffer whenever a token starts
+   with a quote and contains no second quote.
+
+   Ten single-bug versions: v1-v9 semantic (assertions), v10 the Figure 1
+   memory bug (CCured / iWatcher). Expected PathExpander outcomes:
+   v1, v2, v4, v5, v7, v8 and v10 detected; v3 missed (inconsistency: the
+   boundary-value fix pins the length just past the first guard, short of
+   the deeper one), v6 missed (special input: needs an '@@' token), v9
+   missed (value coverage: branchless checksum folding for one specific
+   token weight). *)
+
+let v bug k ~good ~bad = if bug = Some k then bad else good
+
+let source ~bug =
+  Printf.sprintf
+    {|
+// print_tokens2: token classifier (Siemens suite port)
+
+char ibuf[2048];
+int ilen = 0;
+int icur = 0;
+
+char tkn[10];                            //@tag pt2_tkn_decl
+int tlen = 0;
+
+int n_keyword = 0;
+int n_special = 0;
+int n_comment = 0;
+int n_error = 0;
+
+char kws[32] = "and or if xor not";
+
+void read_input() {
+  int c = getc();
+  while (c != -1 && ilen < 2047) {
+    ibuf[ilen] = c;
+    ilen = ilen + 1;
+    c = getc();
+  }
+  ibuf[ilen] = 0;
+}
+
+// copy next whitespace-delimited token into tkn; returns 0 at end of input
+int get_token() {
+  while (icur < ilen && is_space(ibuf[icur])) {
+    icur = icur + 1;
+  }
+  if (icur >= ilen) {
+    return 0;
+  }
+  tlen = 0;
+  while (icur < ilen && !is_space(ibuf[icur])) {
+    if (tlen < 9) {
+      tkn[tlen] = ibuf[icur];
+      tlen = tlen + 1;
+    }
+    icur = icur + 1;
+  }
+  tkn[tlen] = 0;
+  return 1;
+}
+
+int is_keyword() {
+  int k = 0;
+  int t = 0;
+  while (kws[k] != 0) {
+    t = 0;
+    while (kws[k + t] != 0 && kws[k + t] != ' ' && tkn[t] != 0
+           && kws[k + t] == tkn[t]) {
+      t = t + 1;
+    }
+    int matched = 1;
+    if (tkn[t] != 0) {
+      matched = 0;
+    }
+    if (kws[k + t] != ' ' && kws[k + t] != 0) {
+      matched = 0;
+    }
+    if (matched == 1) {
+      %s
+      assert(t < 7);                     //@tag pt2_assert7
+      return 1;
+    }
+    while (kws[k] != 0 && kws[k] != ' ') {
+      k = k + 1;
+    }
+    if (kws[k] == ' ') {
+      k = k + 1;
+    }
+  }
+  return 0;
+}
+
+int is_num_constant() {
+  int i = 0;
+  int sign = 1;
+  if (tkn[0] == '-') {
+    %s
+    assert(sign == 1 && tlen >= 1);      //@tag pt2_assert4
+    i = 1;
+  }
+  if (tkn[i] == 0) {
+    return 0;
+  }
+  while (tkn[i] != 0) {
+    if (!is_digit(tkn[i])) {
+      return 0;
+    }
+    i = i + 1;
+  }
+  return 1;
+}
+
+int is_str_constant() {
+  if (tkn[0] == '"') {
+    int i = 1;
+    int closed = 0;
+    while (%s) {                         //@tag pt2_overrun
+      i = i + 1;
+    }
+    %s
+    if (tkn[i] == '"') {
+      closed = 1;
+    }
+    assert(closed == 0 || tkn[i] == '"');  //@tag pt2_assert8
+    return 1;
+  }
+  return 0;
+}
+
+int is_char_constant() {
+  if (tkn[0] == '#') {
+    int body = tlen - 1;
+    %s
+    assert(body >= 0);                   //@tag pt2_assert1
+    if (body == 1) {
+      return 1;
+    }
+    return 0;
+  }
+  return 0;
+}
+
+int is_comment() {
+  if (tkn[0] == ';') {
+    n_comment = n_comment + 1;
+    %s
+    assert(n_comment > 0);               //@tag pt2_assert2
+    return 1;
+  }
+  return 0;
+}
+
+int is_special() {
+  int c = tkn[0];
+  int id = -1;
+  if (c == '(') { id = 1; }
+  if (c == ')') { id = 2; }
+  if (c == '[') { id = 3; }
+  if (c == ']') { id = 4; }
+  if (c == ',') { id = 5; }
+  if (c == 96) {
+    id = 6;
+    %s
+  }
+  if (c == '@') {
+    if (tkn[1] == '@') {
+      %s
+      assert(tlen >= 2);                 //@tag pt2_assert6
+      id = 7;
+    } else {
+      id = 8;
+    }
+  }
+  assert(id == -1 || id > 0);            //@tag pt2_assert5
+  if (id > 0) {
+    n_special = n_special + 1;
+    return 1;
+  }
+  return 0;
+}
+
+void classify() {
+  diag_check(tlen);
+  // long-token folding: anything beyond 5 chars is truncated
+  if (tlen > 5) {
+    if (tlen > 8 && tkn[8] != 0) {
+      %s
+      assert(tlen <= 9);                 //@tag pt2_assert3
+    }
+    tkn[5] = 0;
+    tlen = 5;
+  }
+  int checksum = 0;
+  int i = 0;
+  int clean = 1;
+  while (i < tlen) {
+    checksum = checksum + tkn[i];
+    %s
+    clean = clean & (tkn[i] > 0);
+    i = i + 1;
+  }
+  assert(clean == 0 || checksum >= 0);  //@tag pt2_assert9
+  if (is_keyword()) {
+    n_keyword = n_keyword + 1;
+    print_str("KEYWORD");
+  } else if (is_num_constant()) {
+    print_str("NUMERIC");
+  } else if (is_str_constant()) {
+    print_str("STRING");
+  } else if (is_char_constant()) {
+    print_str("CHARACTER");
+  } else if (is_comment()) {
+    print_str("COMMENT");
+  } else if (is_special()) {
+    print_str("SPECIAL");
+  } else {
+    int ok = 0;
+    int j = 0;
+    while (j < tlen) {
+      if (is_alpha(tkn[j]) || is_digit(tkn[j])) {
+        ok = ok + 1;
+      }
+      j = j + 1;
+    }
+    if (ok == tlen && tlen > 0 && is_alpha(tkn[0])) {
+      print_str("IDENTIFIER");
+    } else {
+      n_error = n_error + 1;
+      print_str("ERROR");
+    }
+  }
+  putc('(');
+  print_str(tkn);
+  putc(')');
+  print_nl();
+}
+
+int main() {
+  read_input();
+  while (get_token() == 1) {
+    classify();
+  }
+  fp_summary(n_error);
+  print_int(n_keyword);
+  putc(' ');
+  print_int(n_special);
+  putc(' ');
+  print_int(n_comment);
+  putc(' ');
+  print_int(n_error);
+  print_nl();
+  return 0;
+}
+|}
+    (v bug 7 ~good:"" ~bad:"t = t + 9;")
+    (v bug 4 ~good:"" ~bad:"sign = tlen - tlen;")
+    (v bug 10 ~good:{|i < 9 && tkn[i] != '"' && tkn[i] != 0|} ~bad:{|tkn[i] != '"'|})
+    (v bug 8 ~good:"" ~bad:"closed = 1;")
+    (v bug 1 ~good:"" ~bad:"body = -1;")
+    (v bug 2 ~good:"" ~bad:"n_comment = n_comment - 2;")
+    (v bug 5 ~good:"" ~bad:"id = -6;")
+    (v bug 6 ~good:"" ~bad:"tlen = tlen - 2;")
+    (v bug 3 ~good:"" ~bad:"tlen = tlen + 1;")
+    (v bug 9 ~good:"" ~bad:"checksum = checksum - (checksum / 600) * 601;")
+  ^ Cold_code.fp_region
+  ^ Cold_code.block ~modes:9
+
+let bugs =
+  [
+    Bug.make ~id:"print_tokens2-v1" ~version:1 ~kind:Bug.Semantic
+      ~descr:"character-constant body length forced negative"
+      ~detect_tags:[ "pt2_assert1" ] ();
+    Bug.make ~id:"print_tokens2-v2" ~version:2 ~kind:Bug.Semantic
+      ~descr:"comment counter decremented below zero"
+      ~detect_tags:[ "pt2_assert2" ] ();
+    Bug.make ~id:"print_tokens2-v3" ~version:3 ~kind:Bug.Semantic
+      ~descr:"9-char tokens corrupt the length (the boundary fix pins tlen \
+              to 6, short of the deeper guard)"
+      ~detect_tags:[ "pt2_assert3" ]
+      ~expected_miss:Bug.Inconsistency ();
+    Bug.make ~id:"print_tokens2-v4" ~version:4 ~kind:Bug.Semantic
+      ~descr:"negative-numeral sign flag cleared"
+      ~detect_tags:[ "pt2_assert4" ] ();
+    Bug.make ~id:"print_tokens2-v5" ~version:5 ~kind:Bug.Semantic
+      ~descr:"backquote special maps to a negative symbol id"
+      ~detect_tags:[ "pt2_assert5" ] ();
+    Bug.make ~id:"print_tokens2-v6" ~version:6 ~kind:Bug.Semantic
+      ~descr:"'@@' token shrinks the recorded length (needs '@@' input)"
+      ~detect_tags:[ "pt2_assert6" ]
+      ~expected_miss:Bug.Special_input ();
+    Bug.make ~id:"print_tokens2-v7" ~version:7 ~kind:Bug.Semantic
+      ~descr:"keyword match position leaps past the table entry"
+      ~detect_tags:[ "pt2_assert7" ] ();
+    Bug.make ~id:"print_tokens2-v8" ~version:8 ~kind:Bug.Semantic
+      ~descr:"unterminated strings reported as closed (semantic twin of v10)"
+      ~detect_tags:[ "pt2_assert8" ] ();
+    Bug.make ~id:"print_tokens2-v9" ~version:9 ~kind:Bug.Semantic
+      ~descr:"token checksum silently folded at 600 (needs a token whose \
+              weight is a multiple of 600)"
+      ~detect_tags:[ "pt2_assert9" ]
+      ~expected_miss:Bug.Value_coverage ();
+    Bug.make ~id:"print_tokens2-v10" ~version:10 ~kind:Bug.Memory
+      ~descr:"Figure 1: unbounded scan for the closing quote overruns tkn"
+      ~detect_tags:[ "pt2_overrun"; "pt2_tkn_decl" ] ();
+  ]
+
+let default_input = "alpha beta 42 ( foo 17 ) [ bar ] gamma 9 delta , 3 x1 y2\n"
+
+let gen_input rng =
+  let buf = Buffer.create 128 in
+  let idents = [ "alpha"; "beta"; "gamma"; "delta"; "foo"; "bar"; "x1"; "y2" ] in
+  let n = Rng.int_in_range rng ~lo:8 ~hi:30 in
+  for _ = 1 to n do
+    (match Rng.int rng 12 with
+     | 0 | 1 | 2 | 3 -> Buffer.add_string buf (Rng.choose rng idents)
+     | 4 | 5 -> Buffer.add_string buf (string_of_int (Rng.int rng 999))
+     | 6 -> Buffer.add_string buf (Rng.choose rng [ "("; ")"; "["; "]"; "," ])
+     | 7 -> Buffer.add_string buf (Rng.choose rng [ "and"; "or"; "if"; "not" ])
+     | 8 ->
+       if Rng.int rng 3 = 0 then
+         Buffer.add_string buf (Rng.choose rng [ "#a"; ";note"; "-12"; "%%!" ])
+       else Buffer.add_string buf (Rng.choose rng idents)
+     | _ -> Buffer.add_string buf (Rng.choose rng idents));
+    Buffer.add_char buf (if Rng.int rng 6 = 0 then '\n' else ' ')
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let workload =
+  {
+    Workload.name = "print_tokens2";
+    descr = "Siemens token classifier (Figure 1 bug)";
+    app_class = Workload.Siemens;
+    source;
+    bugs;
+    default_input;
+    gen_input;
+    max_nt_path_length = 500;
+  }

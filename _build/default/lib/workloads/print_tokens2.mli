@@ -1,0 +1,19 @@
+(** print_tokens2 — the second Siemens tokenizer, home of the paper's
+    Figure 1 bug.
+
+    v10 is the literal Figure 1 buffer overrun: the string-constant
+    classifier scans for the closing quote with no bound check. v1-v9 are
+    semantic; v3 is engineered to be missed through inconsistency, v6
+    through special input and v9 through value coverage. *)
+
+(** MiniC source with the selected single bug planted. *)
+val source : bug:int option -> string
+
+val bugs : Bug.t list
+
+(** A general input that triggers none of the planted bugs. *)
+val default_input : string
+
+val gen_input : Rng.t -> string
+
+val workload : Workload.t

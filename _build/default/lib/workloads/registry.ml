@@ -1,0 +1,33 @@
+(* The full application roster (Table 3 plus the three SPEC overhead
+   benchmarks of Section 6.3). *)
+
+let print_tokens = Print_tokens.workload
+let print_tokens2 = Print_tokens2.workload
+let schedule = Schedule.workload
+let schedule2 = Schedule2.workload
+let bc = Bc.workload
+let man = Man.workload
+let go = Go.workload
+let gzip = Gzip.workload
+let vpr = Vpr.workload
+let parser = Parser_bench.workload
+
+(* The seven buggy applications of Table 3 (38 bugs in total). *)
+let buggy_apps =
+  [ go; bc; man; print_tokens2; print_tokens; schedule; schedule2 ]
+
+(* Applications used in the performance studies (Section 6.3 adds gzip, vpr
+   and parser to the buggy set). *)
+let perf_apps = buggy_apps @ [ gzip; vpr; parser ]
+
+(* The crash-latency study's representative applications (Figure 3). *)
+let latency_apps = [ go; gzip; vpr ]
+
+let all = perf_apps
+
+let total_bugs = List.fold_left (fun acc w -> acc + Workload.bug_count w) 0 buggy_apps
+
+let find name =
+  match List.find_opt (fun w -> w.Workload.name = name) all with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "unknown workload '%s'" name)

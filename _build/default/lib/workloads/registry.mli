@@ -1,0 +1,30 @@
+(** The application roster: Table 3's seven buggy programs plus the three
+    SPEC overhead benchmarks of Section 6.3. *)
+
+val print_tokens : Workload.t
+val print_tokens2 : Workload.t
+val schedule : Workload.t
+val schedule2 : Workload.t
+val bc : Workload.t
+val man : Workload.t
+val go : Workload.t
+val gzip : Workload.t
+val vpr : Workload.t
+val parser : Workload.t
+
+(** The seven buggy applications (38 bugs in total). *)
+val buggy_apps : Workload.t list
+
+(** Applications used in the performance studies. *)
+val perf_apps : Workload.t list
+
+(** Figure 3's representative applications (go, gzip, vpr). *)
+val latency_apps : Workload.t list
+
+val all : Workload.t list
+
+(** 38. *)
+val total_bugs : int
+
+(** Raises [Invalid_argument] on an unknown name. *)
+val find : string -> Workload.t

@@ -1,0 +1,357 @@
+(* schedule — Siemens priority scheduler, re-implemented in MiniC.
+
+   Three priority queues of jobs (linked lists, heap-allocated) plus a
+   blocked list, driven by a command stream: 1 p = new job at priority p,
+   2 i p = reprioritise job i, 3 = block current, 4 r = unblock, 5 = quantum
+   expire, 6 = finish current, 7 = flush, 8 a = debug dump. Common inputs
+   use only commands 1/3/5/6, leaving the other handlers cold.
+
+   Nine single-bug versions, all semantic (assertions):
+   v2, v4, v6, v9 detected by PathExpander; v1 and v3 missed (value
+   coverage: need ≥10000 accumulated work / ≥9 concurrent jobs), v5 and v8
+   missed (special input: need argument values 42 / 77 in the stream), v7
+   missed (inconsistency: the boundary fix pins the index at the first
+   guard, which cannot satisfy the deeper one). *)
+
+let v bug k ~good ~bad = if bug = Some k then bad else good
+
+let source ~bug =
+  Printf.sprintf
+    {|
+// schedule: priority scheduler (Siemens suite port)
+
+struct job {
+  int id;
+  int prio;
+  int slice;
+  struct job *next;
+};
+
+char ibuf[2048];
+int ilen = 0;
+int icur = 0;
+
+struct job *queues[4];
+int qcount[4];
+struct job *blocked_list;
+int bcount = 0;
+
+int next_id = 1;
+int total_work = 0;
+int finished = 0;
+int base_quantum = 10;
+
+void read_input() {
+  int c = getc();
+  while (c != -1 && ilen < 2047) {
+    ibuf[ilen] = c;
+    ilen = ilen + 1;
+    c = getc();
+  }
+}
+
+int read_int() {
+  while (icur < ilen && !is_digit(ibuf[icur]) && ibuf[icur] != '-') {
+    icur = icur + 1;
+  }
+  if (icur >= ilen) {
+    return 0;
+  }
+  int sign = 1;
+  if (ibuf[icur] == '-') {
+    sign = -1;
+    icur = icur + 1;
+  }
+  int value = 0;
+  while (icur < ilen && is_digit(ibuf[icur])) {
+    value = value * 10 + (ibuf[icur] - '0');
+    icur = icur + 1;
+  }
+  return value * sign;
+}
+
+int total_jobs() {
+  return qcount[1] + qcount[2] + qcount[3];
+}
+
+// append a job at the tail of its priority queue
+void enqueue(struct job *j) {
+  int p = j->prio;
+  j->next = NULL;
+  if (queues[p] == NULL) {
+    queues[p] = j;
+  } else {
+    struct job *cur = queues[p];
+    while (cur->next != NULL) {
+      cur = cur->next;
+    }
+    cur->next = j;
+  }
+  qcount[p] = qcount[p] + 1;
+}
+
+// pop the head of the highest non-empty priority queue
+struct job *dequeue_top() {
+  int p = 3;
+  while (p >= 1) {
+    if (queues[p] != NULL) {
+      struct job *j = queues[p];
+      queues[p] = j->next;
+      qcount[p] = qcount[p] - 1;
+      return j;
+    }
+    p = p - 1;
+  }
+  return NULL;
+}
+
+void new_job(int prio) {
+  if (prio < 1) {
+    prio = 1;
+  }
+  if (prio >= 100) {
+    // wildly out-of-range priorities are folded back into range
+    if (prio >= 100 + bcount && bcount > 0) {
+      %s
+      assert(prio < 100);                        //@tag sched_assert7
+    }
+    prio = 2;
+  }
+  if (prio > 3) {
+    prio = 3;
+  }
+  struct job *j = malloc(sizeof(struct job));
+  j->id = next_id;
+  next_id = next_id + 1;
+  j->prio = prio;
+  j->slice = base_quantum + prio * 10;
+  enqueue(j);
+}
+
+void account_work(struct job *j) {
+  int old_total = total_work;
+  int slice = j->slice;
+  total_work = total_work + slice;
+  %s
+  assert(total_work >= old_total || slice < 0);  //@tag sched_assert1
+}
+
+void job_stats() {
+  int jobs = total_jobs();
+  if (jobs == 0) {
+    return;
+  }
+  int sum = qcount[1] + qcount[2] * 2 + qcount[3] * 3;
+  int avg = sum * 10 / jobs;
+  %s
+  assert(avg * jobs <= sum * 10 + jobs);         //@tag sched_assert3
+}
+
+void upgrade_prio(int idx, int prio) {
+  %s
+  if (prio < 1) {
+    prio = 1;
+  }
+  assert(prio >= 1 && prio <= 3);                //@tag sched_assert9
+  struct job *j = dequeue_top();
+  if (j != NULL) {
+    j->prio = prio;
+    enqueue(j);
+  }
+  if (idx > 0) {
+    job_stats();
+  }
+}
+
+void block_current() {
+  struct job *j = dequeue_top();
+  if (j == NULL) {
+    return;
+  }
+  j->next = blocked_list;
+  blocked_list = j;
+  bcount = bcount + 1;
+}
+
+void unblock(int ratio) {
+  %s
+  assert(bcount >= 0);                           //@tag sched_assert4
+  if (bcount <= 0 || blocked_list == NULL) {
+    return;
+  }
+  struct job *j = blocked_list;
+  blocked_list = j->next;
+  bcount = bcount - 1;
+  if (ratio > 50) {
+    j->prio = 3;
+  }
+  enqueue(j);
+}
+
+void quantum_expire() {
+  struct job *j = dequeue_top();
+  if (j != NULL) {
+    account_work(j);
+    enqueue(j);
+  }
+}
+
+void finish_current() {
+  struct job *j = dequeue_top();
+  if (j == NULL) {
+    return;
+  }
+  account_work(j);
+  finished = finished + 1;
+  print_str("done ");
+  print_int(j->id);
+  print_nl();
+  free(j);
+}
+
+void flush_all() {
+  struct job *j = dequeue_top();
+  while (j != NULL) {
+    finished = finished + 1;
+    %s
+    assert(finished > 0);                        //@tag sched_assert2
+    %s
+    assert(total_jobs() >= 0);                   //@tag sched_assert6
+    free(j);
+    j = dequeue_top();
+  }
+}
+
+void debug_dump(int arg) {
+  if (arg == 42) {
+    %s
+    assert(total_work >= 0);                     //@tag sched_assert5
+  }
+  if (arg == 77) {
+    %s
+    assert(finished >= 0);                       //@tag sched_assert8
+  }
+  print_str("jobs ");
+  print_int(total_jobs());
+  print_nl();
+}
+
+int main() {
+  read_input();
+  int op = read_int();
+  while (op != 0) {
+    if (op == 1) {
+      new_job(read_int());
+    } else if (op == 2) {
+      int idx = read_int();
+      upgrade_prio(idx, read_int());
+    } else if (op == 3) {
+      block_current();
+    } else if (op == 4) {
+      unblock(read_int());
+    } else if (op == 5) {
+      quantum_expire();
+    } else if (op == 6) {
+      finish_current();
+    } else if (op == 7) {
+      flush_all();
+    } else if (op == 8) {
+      debug_dump(read_int());
+    }
+    diag_check(op);
+    op = read_int();
+  }
+  print_str("work ");
+  print_int(total_work);
+  print_str(" fin ");
+  print_int(finished);
+  print_nl();
+  return 0;
+}
+|}
+    (v bug 7 ~good:"" ~bad:"prio = -prio;")
+    (v bug 1 ~good:""
+       ~bad:"total_work = total_work - (total_work / 10000) * 10001;")
+    (v bug 3 ~good:"" ~bad:"avg = avg + jobs / 9;")
+    (v bug 9 ~good:"if (prio > 3) { prio = 3; }"
+       ~bad:"prio = prio + 3; if (prio > 6) { prio = 3; }")
+    (v bug 4 ~good:"" ~bad:"bcount = bcount - 1;")
+    (v bug 2 ~good:"" ~bad:"finished = -finished;")
+    (v bug 6 ~good:"" ~bad:"qcount[1] = -9;")
+    (v bug 5 ~good:"" ~bad:"total_work = -1;")
+    (v bug 8 ~good:"" ~bad:"finished = -5;")
+  ^ Cold_code.block ~modes:8
+
+let bugs =
+  [
+    Bug.make ~id:"schedule-v1" ~version:1 ~kind:Bug.Semantic
+      ~descr:"accumulated work folds at 10000 (needs 10000 units of work)"
+      ~detect_tags:[ "sched_assert1" ]
+      ~expected_miss:Bug.Value_coverage ();
+    Bug.make ~id:"schedule-v2" ~version:2 ~kind:Bug.Semantic
+      ~descr:"flush negates the finished counter"
+      ~detect_tags:[ "sched_assert2" ] ();
+    Bug.make ~id:"schedule-v3" ~version:3 ~kind:Bug.Semantic
+      ~descr:"average priority inflated once 9 jobs coexist"
+      ~detect_tags:[ "sched_assert3" ]
+      ~expected_miss:Bug.Value_coverage ();
+    Bug.make ~id:"schedule-v4" ~version:4 ~kind:Bug.Semantic
+      ~descr:"unblock decrements the blocked count before the empty check"
+      ~detect_tags:[ "sched_assert4" ] ();
+    Bug.make ~id:"schedule-v5" ~version:5 ~kind:Bug.Semantic
+      ~descr:"debug dump with argument 42 corrupts the work counter"
+      ~detect_tags:[ "sched_assert5" ]
+      ~expected_miss:Bug.Special_input ();
+    Bug.make ~id:"schedule-v6" ~version:6 ~kind:Bug.Semantic
+      ~descr:"flush corrupts a priority-queue count"
+      ~detect_tags:[ "sched_assert6" ] ();
+    Bug.make ~id:"schedule-v7" ~version:7 ~kind:Bug.Semantic
+      ~descr:"priorities past 100+bcount negated (the fix pins prio to 100)"
+      ~detect_tags:[ "sched_assert7" ]
+      ~expected_miss:Bug.Inconsistency ();
+    Bug.make ~id:"schedule-v8" ~version:8 ~kind:Bug.Semantic
+      ~descr:"debug dump with argument 77 corrupts the finished counter"
+      ~detect_tags:[ "sched_assert8" ]
+      ~expected_miss:Bug.Special_input ();
+    Bug.make ~id:"schedule-v9" ~version:9 ~kind:Bug.Semantic
+      ~descr:"reprioritisation inflates small priorities by 3"
+      ~detect_tags:[ "sched_assert9" ] ();
+  ]
+
+let default_input =
+  let phrase = "1 2 1 1 1 3 5 3 1 2 5 6 1 1 3 5 6 6 1 2 5 6 6 " in
+  String.concat "" [ phrase; phrase; phrase ] ^ "\n"
+
+let gen_input rng =
+  let buf = Buffer.create 128 in
+  let n = Rng.int_in_range rng ~lo:10 ~hi:40 in
+  for _ = 1 to n do
+    (match Rng.int rng 12 with
+     | 0 | 1 | 2 | 3 ->
+       Buffer.add_string buf (Printf.sprintf "1 %d" (Rng.int_in_range rng ~lo:1 ~hi:3))
+     | 4 | 5 -> Buffer.add_string buf "3"
+     | 6 | 7 -> Buffer.add_string buf "5"
+     | 8 | 9 -> Buffer.add_string buf "6"
+     | 10 ->
+       (* rarer operations so cumulative coverage keeps growing *)
+       Buffer.add_string buf
+         (Rng.choose rng
+            [ "4 60"; "4 10"; "7"; Printf.sprintf "2 %d %d" (Rng.int rng 5)
+                (Rng.int_in_range rng ~lo:1 ~hi:3) ])
+     | _ -> Buffer.add_string buf (Printf.sprintf "8 %d" (Rng.int rng 9)));
+    Buffer.add_char buf ' '
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let workload =
+  {
+    Workload.name = "schedule";
+    descr = "Siemens priority scheduler (linked lists)";
+    app_class = Workload.Siemens;
+    source;
+    bugs;
+    default_input;
+    gen_input;
+    max_nt_path_length = 500;
+  }

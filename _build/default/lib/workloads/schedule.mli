@@ -1,0 +1,18 @@
+(** schedule — the Siemens priority scheduler (linked lists).
+
+    Nine semantic bugs in the command handlers; the rare commands
+    (reprioritise, unblock, flush, debug dump) are cold on common inputs.
+    v2/v4/v6/v9 detected; v1/v3 value-coverage, v5/v8 special-input and v7
+    inconsistency misses. *)
+
+(** MiniC source with the selected single bug planted. *)
+val source : bug:int option -> string
+
+val bugs : Bug.t list
+
+(** A general input that triggers none of the planted bugs. *)
+val default_input : string
+
+val gen_input : Rng.t -> string
+
+val workload : Workload.t

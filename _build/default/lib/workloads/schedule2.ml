@@ -1,0 +1,290 @@
+(* schedule2 — the second Siemens scheduler: same command specification as
+   schedule, but implemented with fixed-size circular ring buffers instead of
+   linked lists (the real schedule2 is likewise an independent
+   implementation of the same spec).
+
+   Seven single-bug versions, all semantic (assertions): v1, v2, v3 detected
+   by PathExpander; v4 and v5 missed (value coverage: need a full ring /
+   ≥8 finished jobs), v6 missed (special input: needs ratio argument 99),
+   v7 missed (inconsistency: the fixed boundary dodges the deeper guard). *)
+
+let v bug k ~good ~bad = if bug = Some k then bad else good
+
+let source ~bug =
+  Printf.sprintf
+    {|
+// schedule2: priority scheduler on circular ring buffers (Siemens port)
+
+char ibuf[2048];
+int ilen = 0;
+int icur = 0;
+
+// three rings of job ids, priority 1..3
+int ring1[16];
+int ring2[16];
+int ring3[16];
+int head[4];
+int tail[4];
+int count[4];
+
+int blocked[16];
+int bcount = 0;
+
+int next_id = 1;
+int finished = 0;
+int work_done = 0;
+
+void read_input() {
+  int c = getc();
+  while (c != -1 && ilen < 2047) {
+    ibuf[ilen] = c;
+    ilen = ilen + 1;
+    c = getc();
+  }
+}
+
+int read_int() {
+  while (icur < ilen && !is_digit(ibuf[icur])) {
+    icur = icur + 1;
+  }
+  if (icur >= ilen) {
+    return 0;
+  }
+  int value = 0;
+  while (icur < ilen && is_digit(ibuf[icur])) {
+    value = value * 10 + (ibuf[icur] - '0');
+    icur = icur + 1;
+  }
+  return value;
+}
+
+int ring_get(int p, int slot) {
+  if (p == 1) { return ring1[slot]; }
+  if (p == 2) { return ring2[slot]; }
+  return ring3[slot];
+}
+
+void ring_set(int p, int slot, int id) {
+  if (p == 1) { ring1[slot] = id; }
+  if (p == 2) { ring2[slot] = id; }
+  if (p == 3) { ring3[slot] = id; }
+}
+
+void push_job(int p, int id) {
+  if (count[p] >= 16) {
+    // ring full: the job is dropped
+    %s
+    assert(count[p] <= 16);                      //@tag s2_assert4
+    return;
+  }
+  ring_set(p, tail[p], id);
+  tail[p] = (tail[p] + 1) %% 16;
+  count[p] = count[p] + 1;
+}
+
+int pop_job(int p) {
+  if (count[p] <= 0) {
+    return 0;
+  }
+  int id = ring_get(p, head[p]);
+  head[p] = (head[p] + 1) %% 16;
+  count[p] = count[p] - 1;
+  return id;
+}
+
+int pop_top() {
+  int p = 3;
+  while (p >= 1) {
+    if (count[p] > 0) {
+      return pop_job(p) * 4 + p;
+    }
+    p = p - 1;
+  }
+  return 0;
+}
+
+void new_job(int prio) {
+  if (prio < 1) {
+    prio = 1;
+  }
+  if (prio >= 50) {
+    // out-of-range priority: fold, but track how far out it was
+    if (prio >= 50 + count[1] && count[1] > 0) {
+      %s
+      assert(prio >= 50);                        //@tag s2_assert7
+    }
+    prio = 2;
+  }
+  if (prio > 3) {
+    prio = 3;
+  }
+  push_job(prio, next_id);
+  next_id = next_id + 1;
+}
+
+void block_current() {
+  int packed = pop_top();
+  if (packed == 0) {
+    return;
+  }
+  if (bcount >= 16) {
+    %s
+    assert(bcount <= 16);                        //@tag s2_assert1
+    return;
+  }
+  blocked[bcount] = packed;
+  bcount = bcount + 1;
+}
+
+void unblock(int ratio) {
+  if (bcount <= 0) {
+    %s
+    assert(bcount == 0);                         //@tag s2_assert2
+    return;
+  }
+  bcount = bcount - 1;
+  int packed = blocked[bcount];
+  int prio = packed %% 4;
+  if (ratio == 99) {
+    %s
+    assert(prio >= 1 && prio <= 3);              //@tag s2_assert6
+  }
+  push_job(prio, packed / 4);
+}
+
+void quantum_expire() {
+  int packed = pop_top();
+  if (packed == 0) {
+    return;
+  }
+  work_done = work_done + 1;
+  push_job(packed %% 4, packed / 4);
+}
+
+void finish_current() {
+  int packed = pop_top();
+  if (packed == 0) {
+    return;
+  }
+  int old_finished = finished;
+  finished = finished + 1;
+  %s
+  assert(finished > old_finished || finished < 0);  //@tag s2_assert5
+  print_str("done ");
+  print_int(packed / 4);
+  print_nl();
+}
+
+void flush_all() {
+  int packed = pop_top();
+  while (packed != 0) {
+    finished = finished + 1;
+    %s
+    assert(count[1] + count[2] + count[3] >= 0);    //@tag s2_assert3
+    packed = pop_top();
+  }
+}
+
+int main() {
+  read_input();
+  int op = read_int();
+  while (op != 0) {
+    if (op == 1) {
+      new_job(read_int());
+    } else if (op == 3) {
+      block_current();
+    } else if (op == 4) {
+      unblock(read_int());
+    } else if (op == 5) {
+      quantum_expire();
+    } else if (op == 6) {
+      finish_current();
+    } else if (op == 7) {
+      flush_all();
+    }
+    diag_check(op);
+    op = read_int();
+  }
+  print_str("fin ");
+  print_int(finished);
+  print_str(" work ");
+  print_int(work_done);
+  print_nl();
+  return 0;
+}
+|}
+    (v bug 4 ~good:"" ~bad:"count[p] = count[p] + 1;")
+    (v bug 7 ~good:"" ~bad:"prio = 1 - prio;")
+    (v bug 1 ~good:"" ~bad:"bcount = bcount + 2;")
+    (v bug 2 ~good:"" ~bad:"bcount = bcount - 1;")
+    (v bug 6 ~good:"" ~bad:"prio = prio + 8;")
+    (v bug 5 ~good:""
+       ~bad:"finished = finished - (finished / 64) * 64;")
+    (v bug 3 ~good:"" ~bad:"count[2] = -99;")
+  ^ Cold_code.block ~modes:8
+
+let bugs =
+  [
+    Bug.make ~id:"schedule2-v1" ~version:1 ~kind:Bug.Semantic
+      ~descr:"blocking onto a full blocked table inflates its count"
+      ~detect_tags:[ "s2_assert1" ] ();
+    Bug.make ~id:"schedule2-v2" ~version:2 ~kind:Bug.Semantic
+      ~descr:"unblocking an empty table drives the count negative"
+      ~detect_tags:[ "s2_assert2" ] ();
+    Bug.make ~id:"schedule2-v3" ~version:3 ~kind:Bug.Semantic
+      ~descr:"flush corrupts a ring count"
+      ~detect_tags:[ "s2_assert3" ] ();
+    Bug.make ~id:"schedule2-v4" ~version:4 ~kind:Bug.Semantic
+      ~descr:"a full ring still counts the dropped job (needs 16 jobs at one \
+              priority)"
+      ~detect_tags:[ "s2_assert4" ]
+      ~expected_miss:Bug.Value_coverage ();
+    Bug.make ~id:"schedule2-v5" ~version:5 ~kind:Bug.Semantic
+      ~descr:"finished counter folds at 64 (needs 64 finished jobs)"
+      ~detect_tags:[ "s2_assert5" ]
+      ~expected_miss:Bug.Value_coverage ();
+    Bug.make ~id:"schedule2-v6" ~version:6 ~kind:Bug.Semantic
+      ~descr:"unblock with ratio 99 corrupts the priority (needs ratio 99)"
+      ~detect_tags:[ "s2_assert6" ]
+      ~expected_miss:Bug.Special_input ();
+    Bug.make ~id:"schedule2-v7" ~version:7 ~kind:Bug.Semantic
+      ~descr:"priorities past 50+count negated (the fix pins prio to 50)"
+      ~detect_tags:[ "s2_assert7" ]
+      ~expected_miss:Bug.Inconsistency ();
+  ]
+
+let default_input =
+  let phrase = "1 2 1 1 5 1 3 3 5 6 1 2 5 6 1 1 6 5 6 6 " in
+  (* repeated so spawn overhead amortises as it does on long-running apps;
+     finishes stay below the v5 value threshold *)
+  String.concat "" [ phrase; phrase; phrase; phrase ] ^ "\n"
+
+let gen_input rng =
+  let buf = Buffer.create 128 in
+  let n = Rng.int_in_range rng ~lo:10 ~hi:40 in
+  for _ = 1 to n do
+    (match Rng.int rng 12 with
+     | 0 | 1 | 2 | 3 ->
+       Buffer.add_string buf (Printf.sprintf "1 %d" (Rng.int_in_range rng ~lo:1 ~hi:3))
+     | 4 | 5 -> Buffer.add_string buf "3"
+     | 6 | 7 -> Buffer.add_string buf "5"
+     | 8 | 9 -> Buffer.add_string buf "6"
+     | _ ->
+       Buffer.add_string buf
+         (Rng.choose rng [ "4 60"; "4 10"; "7"; "1 9" ]));
+    Buffer.add_char buf ' '
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let workload =
+  {
+    Workload.name = "schedule2";
+    descr = "Siemens priority scheduler (ring buffers)";
+    app_class = Workload.Siemens;
+    source;
+    bugs;
+    default_input;
+    gen_input;
+    max_nt_path_length = 500;
+  }

@@ -1,0 +1,18 @@
+(** schedule2 — the second Siemens scheduler: the same command
+    specification implemented over circular ring buffers.
+
+    Seven semantic bugs; v1-v3 detected, v4/v5 value-coverage, v6
+    special-input and v7 inconsistency misses. Also the workload whose
+    state-smashing bugs the DIDUCE extension catches without assertions. *)
+
+(** MiniC source with the selected single bug planted. *)
+val source : bug:int option -> string
+
+val bugs : Bug.t list
+
+(** A general input that triggers none of the planted bugs. *)
+val default_input : string
+
+val gen_input : Rng.t -> string
+
+val workload : Workload.t

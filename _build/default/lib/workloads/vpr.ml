@@ -1,0 +1,151 @@
+(* 175.vpr — a placement annealer standing in for SPEC2000's 175.vpr:
+   blocks connected by two-point nets are placed on a grid and iteratively
+   improved by randomised swaps with a cooling acceptance threshold,
+   printing the cost once per outer iteration (periodic unsafe events).
+   No planted bugs: vpr serves the crash-latency and overhead studies. *)
+
+let source ~bug =
+  ignore bug;
+  {|
+// vpr: simulated-annealing placer (175.vpr stand-in)
+
+int grid[144];
+int xpos[64];
+int ypos[64];
+int net_a[96];
+int net_b[96];
+
+int n_blocks = 48;
+int n_nets = 80;
+int seed = 1;
+
+int lcg() {
+  seed = seed * 1103515245 + 12345;
+  int r = seed >> 16;
+  if (r < 0) {
+    r = -r;
+  }
+  return r;
+}
+
+void init_placement() {
+  int i = 0;
+  while (i < 144) {
+    grid[i] = -1;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < n_blocks) {
+    int slot = lcg() % 144;
+    while (grid[slot] >= 0) {
+      slot = (slot + 1) % 144;
+    }
+    grid[slot] = i;
+    xpos[i] = slot % 12;
+    ypos[i] = slot / 12;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < n_nets) {
+    net_a[i] = lcg() % n_blocks;
+    net_b[i] = lcg() % n_blocks;
+    i = i + 1;
+  }
+}
+
+int net_cost(int n) {
+  int a = net_a[n];
+  int b = net_b[n];
+  return abs_int(xpos[a] - xpos[b]) + abs_int(ypos[a] - ypos[b]);
+}
+
+int total_cost() {
+  int cost = 0;
+  int n = 0;
+  while (n < n_nets) {
+    cost = cost + net_cost(n);
+    n = n + 1;
+  }
+  return cost;
+}
+
+// cost delta of moving block b to (nx, ny): recompute its nets
+int move_delta(int b, int nx, int ny) {
+  int before = 0;
+  int after = 0;
+  int n = 0;
+  while (n < n_nets) {
+    if (net_a[n] == b || net_b[n] == b) {
+      before = before + net_cost(n);
+      int ox = xpos[b];
+      int oy = ypos[b];
+      xpos[b] = nx;
+      ypos[b] = ny;
+      after = after + net_cost(n);
+      xpos[b] = ox;
+      ypos[b] = oy;
+    }
+    n = n + 1;
+  }
+  return after - before;
+}
+
+int main() {
+  int c = getc();
+  while (c >= '0' && c <= '9') {
+    seed = seed * 10 + (c - '0');
+    c = getc();
+  }
+  init_placement();
+  int temperature = 40;
+  int outer = 0;
+  while (outer < 10) {
+    int inner = 0;
+    while (inner < 150) {
+      int b = lcg() % n_blocks;
+      int slot = lcg() % 144;
+      if (grid[slot] < 0) {
+        int nx = slot % 12;
+        int ny = slot / 12;
+        int delta = move_delta(b, nx, ny);
+        if (delta < temperature) {
+          // accept: vacate the old slot, claim the new one
+          grid[ypos[b] * 12 + xpos[b]] = -1;
+          grid[slot] = b;
+          xpos[b] = nx;
+          ypos[b] = ny;
+        }
+      }
+      inner = inner + 1;
+    }
+    print_str("cost ");
+    diag_check(outer);
+    print_int(total_cost());
+    print_nl();
+    if (temperature > 0) {
+      temperature = temperature - 4;
+    }
+    outer = outer + 1;
+  }
+  return 0;
+}
+|}
+  ^ Cold_code.block ~modes:18
+
+let bugs = []
+
+let default_input = "31\n"
+
+let gen_input rng = Printf.sprintf "%d\n" (1 + Rng.int rng 9999)
+
+let workload =
+  {
+    Workload.name = "175.vpr";
+    descr = "simulated-annealing placer (SPEC2000 stand-in)";
+    app_class = Workload.Spec;
+    source;
+    bugs;
+    default_input;
+    gen_input;
+    max_nt_path_length = 1000;
+  }

@@ -1,0 +1,16 @@
+(** 175.vpr — a simulated-annealing placer standing in for SPEC2000's
+    175.vpr: randomised block moves on a grid with a cooling acceptance
+    threshold, printing the cost once per outer iteration. No planted
+    bugs; used by the crash-latency and overhead studies. *)
+
+(** MiniC source with the selected single bug planted. *)
+val source : bug:int option -> string
+
+val bugs : Bug.t list
+
+(** A general input that triggers none of the planted bugs. *)
+val default_input : string
+
+val gen_input : Rng.t -> string
+
+val workload : Workload.t

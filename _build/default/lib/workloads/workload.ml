@@ -1,0 +1,49 @@
+type app_class = Siemens | Spec | Open_source
+
+type t = {
+  name : string;
+  descr : string;
+  app_class : app_class;
+  source : bug:int option -> string;
+  bugs : Bug.t list;
+  default_input : string;
+  gen_input : Rng.t -> string;
+  max_nt_path_length : int;
+}
+
+let app_class_name = function
+  | Siemens -> "Siemens"
+  | Spec -> "SPEC"
+  | Open_source -> "open-source"
+
+let bug_count workload = List.length workload.bugs
+
+let find_bug workload version =
+  match
+    List.find_opt (fun b -> b.Bug.version = version) workload.bugs
+  with
+  | Some bug -> bug
+  | None ->
+    invalid_arg
+      (Printf.sprintf "workload %s has no bug version %d" workload.name version)
+
+(* Compile a workload, optionally with one planted bug version. *)
+let compile ?(detector = Codegen.No_detector) ?(fixing = true) ?bug workload =
+  let options = { Codegen.detector; fixing } in
+  Compile.compile ~options (workload.source ~bug)
+
+(* PathExpander configuration appropriate for this workload: the paper's
+   MaxNTPathLength is 100 for the small Siemens programs and 1000 elsewhere;
+   the Siemens budget is scaled to 500 for our more verbose code generator
+   (EXPERIMENTS.md note 6). *)
+let pe_config ?(mode = Pe_config.Standard) workload =
+  {
+    Pe_config.default with
+    Pe_config.mode;
+    max_nt_path_length = workload.max_nt_path_length;
+  }
+
+(* Source line count of the bug-free source (Table 3's LOC column). *)
+let loc workload =
+  let source = workload.source ~bug:None in
+  String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 1 source

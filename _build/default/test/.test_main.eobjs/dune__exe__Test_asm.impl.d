@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Asm Compile Cpu Insn List Machine Program QCheck QCheck_alcotest Reg Registry Workload

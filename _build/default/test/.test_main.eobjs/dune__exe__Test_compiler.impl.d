@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Ast Char Codegen Compile Cpu Lexer List Machine Parser Program String Token

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Context Cpu Insn Machine Memory Program Reg Report Site

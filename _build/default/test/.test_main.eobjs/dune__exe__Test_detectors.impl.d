@@ -1,0 +1,1 @@
+test/test_detectors.ml: Alcotest Analysis Array Bug Codegen Compile Cpu Engine List Machine Program Registry Report Site Workload

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Codegen Compile Coverage Engine List Machine Nt_path Pe_config Registry Report Watchpoints Workload

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Codegen Compile Coverage Diduce Engine Float List Machine Nt_path Pe_config Printf Program Registry Report Runner Workload

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Insn List Printf Program Reg Site String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Btb Cache Context Memory Reg Report Watchpoints

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Codegen Compile Cpu Engine List Machine Nt_path Pe_config Runner

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Ast Cache Codegen Compile Context Coverage Cpu Engine Insn List Machine Memory Parser Pe_config Printf QCheck QCheck_alcotest Registry Rng String Workload

@@ -1,0 +1,1 @@
+test/test_softpe.ml: Alcotest Array Compile Coverage Engine Machine Memory Pe_config Pin_model Registry Soft_engine Workload

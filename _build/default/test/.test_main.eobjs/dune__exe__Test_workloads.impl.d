@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Analysis Bug Codegen Compile Engine List Machine Pe_config Printf Registry Report Rng Workload

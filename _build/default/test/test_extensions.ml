@@ -1,0 +1,305 @@
+(* Tests for the future-work extensions: OS syscall sandboxing inside
+   NT-Paths, the random NT-Path selection factor, statement coverage, and
+   the program symbol table. *)
+
+let io_heavy_source =
+  {|
+int flag = 0;
+int main() {
+  int i;
+  int c = getc();
+  for (i = 0; i < 10; i = i + 1) {
+    if (flag == 1) {
+      putc('A');
+      print_int(i);
+      int d = getc();
+      putc(d);
+      putc('B');
+      putc('C');
+    }
+  }
+  putc('.');
+  putc(c);
+  return 0;
+}
+|}
+
+let run ?(config = Pe_config.default) ?(input = "xy") source =
+  let compiled = Compile.compile source in
+  let machine = Machine.create ~input compiled.Compile.program in
+  let result = Engine.run ~config machine in
+  (machine, result)
+
+let test_sandboxed_syscalls_keep_paths_alive () =
+  let without =
+    snd (run io_heavy_source)
+  in
+  let config = { Pe_config.default with Pe_config.sandbox_syscalls = true } in
+  let with_os = snd (run ~config io_heavy_source) in
+  let unsafe r = List.length (List.filter Nt_path.is_unsafe r.Engine.nt_records) in
+  Alcotest.(check bool) "unsafe terminations without OS support" true
+    (unsafe without > 0);
+  Alcotest.(check int) "no unsafe terminations with OS support" 0
+    (unsafe with_os);
+  Alcotest.(check bool) "paths run longer" true
+    (Coverage.combined_pct with_os.Engine.coverage
+    >= Coverage.combined_pct without.Engine.coverage)
+
+let test_sandboxed_syscalls_no_side_effects () =
+  let config = { Pe_config.default with Pe_config.sandbox_syscalls = true } in
+  let machine, _ = run ~config io_heavy_source in
+  (* the NT-Paths executed putc('A')... virtually; none of it may appear, and
+     the NT getc must not consume the taken path's input *)
+  Alcotest.(check string) "output is the baseline's" ".x"
+    (Machine.output machine)
+
+let test_sandboxed_getc_reads_ahead () =
+  (* inside an NT-Path, getc returns real upcoming input (path-local cursor) *)
+  let source =
+    {|
+int flag = 0;
+int seen = 0;
+int main() {
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    if (flag == 1) {
+      int c = getc();
+      if (c == 'q') {
+        seen = seen + 1;
+        // a marker the detector can observe from the sandbox
+        int t[2];
+        t[5] = c;
+      }
+    }
+  }
+  return 0;
+}
+|}
+  in
+  let options = { Codegen.detector = Codegen.Ccured; fixing = true } in
+  let compiled = Compile.compile ~options source in
+  let config = { Pe_config.default with Pe_config.sandbox_syscalls = true } in
+  let machine = Machine.create ~input:"q" compiled.Compile.program in
+  let _ = Engine.run ~config machine in
+  (* the overrun on t[5] is only reachable if the virtualised getc really
+     delivered 'q' *)
+  Alcotest.(check bool) "virtual getc delivered input" true
+    (Report.sites_from_nt_paths machine.Machine.reports <> [])
+
+let test_random_spawn_deterministic () =
+  let config =
+    { Pe_config.default with Pe_config.random_spawn_chance = 0.1; random_seed = 5 }
+  in
+  let spawns () = (snd (run ~config io_heavy_source)).Engine.spawns in
+  Alcotest.(check int) "same seed, same spawns" (spawns ()) (spawns ())
+
+let test_random_spawn_increases_exploration () =
+  let base = (snd (run io_heavy_source)).Engine.spawns in
+  let config =
+    { Pe_config.default with Pe_config.random_spawn_chance = 0.3; random_seed = 2 }
+  in
+  let randomised = (snd (run ~config io_heavy_source)).Engine.spawns in
+  Alcotest.(check bool) "more spawns with the random factor" true
+    (randomised > base)
+
+let test_statement_coverage_bounds () =
+  let _, result = run io_heavy_source in
+  let cov = result.Engine.coverage in
+  Alcotest.(check bool) "stmt baseline in (0, 100]" true
+    (Coverage.stmt_taken_pct cov > 0.0 && Coverage.stmt_taken_pct cov <= 100.0);
+  Alcotest.(check bool) "stmt combined >= stmt baseline" true
+    (Coverage.stmt_combined_pct cov >= Coverage.stmt_taken_pct cov)
+
+let test_statement_vs_branch_ordering () =
+  (* statement coverage is weaker than branch coverage: a program's executed
+     statements are always at least as covered as its branch edges *)
+  List.iter
+    (fun (workload : Workload.t) ->
+      let compiled = Workload.compile workload in
+      let machine =
+        Machine.create ~input:workload.Workload.default_input
+          compiled.Compile.program
+      in
+      let result = Engine.run ~config:Pe_config.baseline machine in
+      let cov = result.Engine.coverage in
+      Alcotest.(check bool)
+        (workload.Workload.name ^ ": stmt >= branch coverage")
+        true
+        (Coverage.stmt_taken_pct cov >= Coverage.taken_pct cov -. 1e-9))
+    [ Registry.print_tokens; Registry.schedule; Registry.gzip ]
+
+let test_global_address () =
+  let compiled =
+    Compile.compile "int alpha = 5; int beta[3]; int main() { return alpha + beta[0]; }"
+  in
+  let program = compiled.Compile.program in
+  (match Program.global_address program "alpha" with
+   | Some addr ->
+     Alcotest.(check bool) "past the null page" true
+       (addr >= Program.null_guard_words)
+   | None -> Alcotest.fail "alpha not found");
+  Alcotest.(check bool) "beta found" true
+    (Program.global_address program "beta" <> None);
+  Alcotest.(check (option int)) "unknown global" None
+    (Program.global_address program "nope")
+
+let test_user_code_ranges () =
+  let compiled =
+    Compile.compile "int f(int x) { return x + 1; } int main() { return f(1); }"
+  in
+  let program = compiled.Compile.program in
+  Alcotest.(check int) "two user functions" 2
+    (List.length program.Program.user_code_ranges);
+  (* ranges are disjoint and ordered *)
+  let sorted = List.sort compare program.Program.user_code_ranges in
+  let rec disjoint = function
+    | (_, e1) :: ((s2, _) :: _ as rest) -> e1 <= s2 && disjoint rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "disjoint" true (disjoint sorted);
+  (* prelude functions like strlen are not user ranges *)
+  let in_ranges pc =
+    List.exists (fun (s, e) -> pc >= s && pc < e) program.Program.user_code_ranges
+  in
+  let strlen_pc = List.assoc "strlen" program.Program.functions in
+  Alcotest.(check bool) "runtime excluded" false (in_ranges strlen_pc)
+
+let test_ext_experiment_runs () =
+  (* the extension experiment is wired into the registry *)
+  Alcotest.(check bool) "ext1 registered" true (Runner.find "ext1" <> None)
+
+
+
+(* --- the DIDUCE-style invariant detector ------------------------------------ *)
+
+let diduce_train_and_monitor ?bug (workload : Workload.t) =
+  let compiled = Workload.compile ?bug workload in
+  let detector = Diduce.create compiled.Compile.program in
+  let train =
+    Machine.create ~input:workload.Workload.default_input compiled.Compile.program
+  in
+  Diduce.attach detector train;
+  ignore (Engine.run ~config:Pe_config.baseline train);
+  Diduce.start_monitoring detector;
+  let monitor =
+    Machine.create ~input:workload.Workload.default_input compiled.Compile.program
+  in
+  Diduce.attach detector monitor;
+  ignore (Engine.run ~config:(Workload.pe_config workload) monitor);
+  detector
+
+let test_diduce_training_is_silent () =
+  let compiled = Workload.compile Registry.schedule in
+  let detector = Diduce.create compiled.Compile.program in
+  let machine =
+    Machine.create ~input:Registry.schedule.Workload.default_input
+      compiled.Compile.program
+  in
+  Diduce.attach detector machine;
+  ignore (Engine.run ~config:Pe_config.baseline machine);
+  Alcotest.(check (list pass)) "no violations while training" []
+    (Diduce.violations detector)
+
+let test_diduce_catches_state_smash () =
+  (* schedule v6 zeroes a queue count to -9 on a cold path: the invariant
+     monitor must flag it from the NT-Path, with a large surprise factor *)
+  let detector = diduce_train_and_monitor ~bug:6 Registry.schedule in
+  let smashes =
+    List.filter
+      (fun (v : Diduce.violation) ->
+        v.Diduce.name = "qcount" && v.Diduce.value = -9 && v.Diduce.on_nt_path)
+      (Diduce.violations detector)
+  in
+  (match smashes with
+   | [] -> Alcotest.fail "expected a qcount violation"
+   | v :: _ ->
+     Alcotest.(check bool) "high surprise" true (v.Diduce.surprise >= 2))
+
+let test_diduce_fix_stores_excluded () =
+  (* the consistency-fix stubs write boundary values to condition variables;
+     those stores must not register as program anomalies. The clean binary's
+     violations must all be low-surprise churn. *)
+  let detector = diduce_train_and_monitor Registry.schedule2 in
+  List.iter
+    (fun (v : Diduce.violation) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "low surprise at %s (%d)" v.Diduce.name v.Diduce.surprise)
+        true
+        (v.Diduce.surprise < 50))
+    (Diduce.violations detector)
+
+let test_diduce_names_violations () =
+  let detector = diduce_train_and_monitor ~bug:3 Registry.schedule2 in
+  Alcotest.(check bool) "count named" true
+    (List.mem "count" (Diduce.distinct_violated_names detector))
+
+let diduce_tests =
+  [
+    Alcotest.test_case "diduce training silent" `Quick test_diduce_training_is_silent;
+    Alcotest.test_case "diduce catches state smash" `Quick test_diduce_catches_state_smash;
+    Alcotest.test_case "diduce excludes fix stores" `Quick test_diduce_fix_stores_excluded;
+    Alcotest.test_case "diduce names violations" `Quick test_diduce_names_violations;
+  ]
+
+
+
+let profiled_fixing_tests =
+  let run_profiled profiled =
+    let workload = Registry.bc in
+    let compiled = Workload.compile ~detector:Codegen.Ccured workload in
+    let machine =
+      Machine.create ~input:workload.Workload.default_input compiled.Compile.program
+    in
+    let config =
+      { (Workload.pe_config workload) with Pe_config.profiled_fixing = profiled }
+    in
+    (machine, Engine.run ~config machine)
+  in
+  [
+    Alcotest.test_case "profiled fixing engages" `Quick (fun () ->
+        let _, result = run_profiled true in
+        Alcotest.(check bool) "overrides used" true
+          (result.Engine.profiled_overrides > 0);
+        let _, boundary = run_profiled false in
+        Alcotest.(check int) "boundary mode uses none" 0
+          boundary.Engine.profiled_overrides);
+    Alcotest.test_case "profiled fixing is side-effect free" `Quick (fun () ->
+        let machine_p, _ = run_profiled true in
+        let machine_b, _ = run_profiled false in
+        Alcotest.(check string) "same program output"
+          (Machine.output machine_b) (Machine.output machine_p));
+    Alcotest.test_case "profiled values satisfy the forced edge" `Quick
+      (fun () ->
+        (* a variable whose history contains a satisfying value: the engine
+           must not regress coverage relative to boundary fixing *)
+        let _, profiled = run_profiled true in
+        let _, boundary = run_profiled false in
+        Alcotest.(check bool) "coverage comparable" true
+          (Float.abs
+             (Coverage.combined_pct profiled.Engine.coverage
+             -. Coverage.combined_pct boundary.Engine.coverage)
+          < 5.0));
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "sandboxed syscalls keep paths alive" `Quick
+      test_sandboxed_syscalls_keep_paths_alive;
+    Alcotest.test_case "sandboxed syscalls side-effect free" `Quick
+      test_sandboxed_syscalls_no_side_effects;
+    Alcotest.test_case "sandboxed getc reads ahead" `Quick
+      test_sandboxed_getc_reads_ahead;
+    Alcotest.test_case "random spawn deterministic" `Quick
+      test_random_spawn_deterministic;
+    Alcotest.test_case "random spawn explores more" `Quick
+      test_random_spawn_increases_exploration;
+    Alcotest.test_case "statement coverage bounds" `Quick
+      test_statement_coverage_bounds;
+    Alcotest.test_case "statement >= branch coverage" `Quick
+      test_statement_vs_branch_ordering;
+    Alcotest.test_case "global symbol table" `Quick test_global_address;
+    Alcotest.test_case "user code ranges" `Quick test_user_code_ranges;
+    Alcotest.test_case "extension experiment registered" `Quick
+      test_ext_experiment_runs;
+  ]
+  @ diduce_tests @ profiled_fixing_tests

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "pathexpander"
+    [
+      ("util", Test_util.tests);
+      ("isa", Test_isa.tests);
+      ("asm", Test_asm.tests);
+      ("machine", Test_machine.tests);
+      ("cpu", Test_cpu.tests);
+      ("compiler", Test_compiler.tests);
+      ("engine", Test_engine.tests);
+      ("softpe", Test_softpe.tests);
+      ("detectors", Test_detectors.tests);
+      ("workloads", Test_workloads.tests);
+      ("extensions", Test_extensions.tests);
+      ("more", Test_more.tests);
+      ("properties", Test_props.tests);
+    ]
