@@ -188,5 +188,10 @@ let run_bechamel () =
 
 let () =
   print_endline "=== PathExpander: full reproduction of the evaluation ===";
-  Runner.run_all ();
+  (* Fan the reproduction across a domain pool when the host has spare cores;
+     output order (and bytes) match a serial run. Bechamel timing stays
+     serial so the numbers are not polluted by sibling domains. *)
+  let jobs = Pool.default_jobs () in
+  Exp_common.set_jobs jobs;
+  Runner.run_all ~jobs ();
   run_bechamel ()

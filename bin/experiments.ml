@@ -1,7 +1,9 @@
 (* Regenerate the paper's tables and figures.
 
-   Usage: experiments [IDS...]   (no arguments: run everything)
-          experiments --list *)
+   Usage: experiments [IDS...]            (no arguments: run everything)
+          experiments --list
+          experiments --jobs 4            (fan runs across a domain pool)
+          experiments --telemetry t.json  (write per-run telemetry JSON) *)
 
 let list_ids () =
   List.iter
@@ -9,15 +11,33 @@ let list_ids () =
       Printf.printf "%-5s %s\n" e.Runner.id e.Runner.title)
     Runner.all
 
-let run_ids ids =
-  List.iter
+let experiments_for ids =
+  List.map
     (fun id ->
       match Runner.find id with
-      | Some e -> e.Runner.run ()
+      | Some e -> e
       | None ->
         Printf.eprintf "unknown experiment '%s' (try --list)\n" id;
         exit 1)
     ids
+
+(* Per-run lines sorted by label (submission order is nondeterministic under
+   --jobs > 1), then the cross-run aggregate as the final line. *)
+let write_telemetry oc file runs =
+  (* labels can collide (the same app/mode under different experiment
+     configs), so tie-break on deterministic simulation counters to keep the
+     file order independent of submission order *)
+  let key t =
+    ( Telemetry.label t,
+      Telemetry.counter t "engine.total_cycles",
+      Telemetry.counter t "taken.insns",
+      Telemetry.counter t "engine.spawns" )
+  in
+  let runs = List.sort (fun a b -> compare (key a) (key b)) runs in
+  List.iter (fun t -> output_string oc (Telemetry.to_json t ^ "\n")) runs;
+  output_string oc (Telemetry.aggregate_json runs ^ "\n");
+  close_out oc;
+  Printf.eprintf "telemetry: %d runs -> %s\n%!" (List.length runs) file
 
 open Cmdliner
 
@@ -29,14 +49,49 @@ let list_arg =
   let doc = "List the available experiments." in
   Arg.(value & flag & info [ "list" ] ~doc)
 
-let main list ids =
+let jobs_arg =
+  let doc =
+    "Number of domains to fan experiments and sweep cells across. With 1 \
+     (the default) everything runs serially in this domain; output is \
+     byte-identical either way."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let telemetry_arg =
+  let doc =
+    "Write per-run telemetry to $(docv): one JSON object per run (sorted by \
+     label) plus a final aggregate line."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+
+let main list jobs telemetry ids =
   if list then list_ids ()
-  else if ids = [] then Runner.run_all ()
-  else run_ids ids
+  else begin
+    Exp_common.set_jobs jobs;
+    let run () =
+      match ids with
+      | [] -> Runner.run_all ()
+      | ids -> Runner.run_list (experiments_for ids)
+    in
+    match telemetry with
+    | None -> run ()
+    | Some file ->
+      (* open before the (possibly minutes-long) sweep so a bad path fails
+         fast instead of discarding finished runs *)
+      let oc =
+        try open_out file
+        with Sys_error msg ->
+          Printf.eprintf "cannot open telemetry file: %s\n" msg;
+          exit 1
+      in
+      let (), runs = Telemetry.collect_runs run in
+      write_telemetry oc file runs
+  end
 
 let cmd =
   let doc = "regenerate the PathExpander paper's tables and figures" in
   let info = Cmd.info "experiments" ~doc in
-  Cmd.v info Term.(const main $ list_arg $ ids_arg)
+  Cmd.v info Term.(const main $ list_arg $ jobs_arg $ telemetry_arg $ ids_arg)
 
 let () = exit (Cmd.eval cmd)

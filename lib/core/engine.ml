@@ -135,10 +135,30 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
     config.Pe_config.random_spawn_chance > 0.0
     && Rng.float spawn_rng < config.Pe_config.random_spawn_chance
   in
+  let tel = machine.Machine.telemetry in
   let fresh_path_id () =
     (* 8-bit version tags, id 0 reserved for committed data (Section 4.3). *)
     next_path_id := !next_path_id + 1;
-    ((!next_path_id - 1) mod 255) + 1
+    let id = ((!next_path_id - 1) mod 255) + 1 in
+    if !next_path_id > 255 then begin
+      (* The id is being reused. Every path gang-invalidates its lines at
+         termination, so no L1 should still hold lines under this tag — but
+         a stale survivor would let the old path's squash destroy the new
+         path's lines, so clean defensively and account for it. *)
+      let stale = ref (Cache.gang_invalidate ctx.Context.l1 ~owner:id) in
+      if Lazy.is_val cmp_l1s then
+        Array.iter
+          (fun l1 -> stale := !stale + Cache.gang_invalidate l1 ~owner:id)
+          (Lazy.force cmp_l1s);
+      if !stale > 0 then Telemetry.count tel "path_id.stale_lines_cleaned" !stale
+    end;
+    id
+  in
+  let run_nt_path ?fix_override ~l1 ~entry ~br_pc ~forced_direction () =
+    Telemetry.span tel "phase.nt_path" (fun () ->
+        Nt_path.run ?fix_override machine config coverage ~l1
+          ~regs:ctx.Context.regs ~entry ~spawn_br_pc:br_pc ~forced_direction
+          ~path_id:(fresh_path_id ()))
   in
   let spawn_standard ~entry ~br_pc ~forced_direction =
     incr spawns;
@@ -148,9 +168,8 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
       else None
     in
     let record =
-      Nt_path.run ?fix_override machine config coverage ~l1:ctx.Context.l1
-        ~regs:ctx.Context.regs ~entry ~spawn_br_pc:br_pc ~forced_direction
-        ~path_id:(fresh_path_id ())
+      run_nt_path ?fix_override ~l1:ctx.Context.l1 ~entry ~br_pc
+        ~forced_direction ()
     in
     nt_records := record :: !nt_records;
     nt_serial_cycles :=
@@ -180,11 +199,7 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
           counted_override (profiled_override ~br_pc ~forced_direction)
         else None
       in
-      let record =
-        Nt_path.run ?fix_override machine config coverage ~l1
-          ~regs:ctx.Context.regs ~entry ~spawn_br_pc:br_pc ~forced_direction
-          ~path_id:(fresh_path_id ())
-      in
+      let record = run_nt_path ?fix_override ~l1 ~entry ~br_pc ~forced_direction () in
       nt_records := record :: !nt_records;
       let start = max (ctx.Context.stats.Context.cycles) cmp.core_free.(core) in
       let finish =
@@ -225,12 +240,18 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
   let rec loop () =
     if ctx.Context.stats.Context.insns >= fuel then `Fuel_exhausted
     else begin
+      (* [CounterResetInterval] is defined over *program progress*
+         (Section 3.1), so the cadence follows the primary context's
+         retired-instruction count. [Machine.insn_index] also advances
+         inside sandboxed NT-Paths, which would tie the reset rate to how
+         many NT-Paths happened to spawn. *)
       if
-        machine.Machine.insn_index - !last_reset
+        ctx.Context.stats.Context.insns - !last_reset
         >= config.Pe_config.counter_reset_interval
       then begin
         Btb.reset_counters machine.Machine.btb;
-        last_reset := machine.Machine.insn_index
+        Telemetry.incr tel "btb.counter_resets";
+        last_reset := ctx.Context.stats.Context.insns
       end;
       Coverage.record_pc_taken coverage ctx.Context.pc;
       match Cpu.step machine ctx with
@@ -244,7 +265,7 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
       | Cpu.Ev_overflow -> assert false (* primary context is not sandboxed *)
     end
   in
-  let outcome = loop () in
+  let outcome = Telemetry.span tel "engine.run" loop in
   let taken_cycles = ctx.Context.stats.Context.cycles in
   let total_cycles =
     match config.Pe_config.mode with
@@ -254,6 +275,30 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
       (* The last taken-path segment needs its siblings' squash tokens. *)
       List.fold_left max taken_cycles cmp.active_finish
   in
+  (* Observability: every run reports what it did and what it cost. *)
+  if Telemetry.label tel = "" then
+    Telemetry.set_label tel (Pe_config.mode_name config.Pe_config.mode);
+  Telemetry.count tel "engine.spawns" !spawns;
+  Telemetry.count tel "engine.skipped_spawns" !skipped;
+  Telemetry.count tel "engine.profiled_overrides" !overrides;
+  Telemetry.count tel "taken.insns" ctx.Context.stats.Context.insns;
+  Telemetry.count tel "taken.branches" ctx.Context.stats.Context.branches;
+  Telemetry.count tel "taken.cycles" taken_cycles;
+  Telemetry.count tel "engine.total_cycles" total_cycles;
+  Telemetry.gauge tel "coverage.taken_pct" (Coverage.taken_pct coverage);
+  Telemetry.gauge tel "coverage.combined_pct" (Coverage.combined_pct coverage);
+  Cache.record_telemetry ctx.Context.l1 tel ~prefix:"l1.primary";
+  Cache.record_telemetry machine.Machine.l2 tel ~prefix:"l2";
+  if Lazy.is_val cmp_l1s then
+    Array.iteri
+      (fun i l1 ->
+        Cache.record_telemetry l1 tel ~prefix:(Printf.sprintf "l1.core%d" (i + 1)))
+      (Lazy.force cmp_l1s);
+  Btb.record_telemetry machine.Machine.btb tel ~prefix:"btb";
+  Telemetry.gauge tel "phase.taken_s"
+    (Telemetry.timer_total tel "engine.run"
+    -. Telemetry.timer_total tel "phase.nt_path");
+  Telemetry.submit tel;
   {
     outcome;
     taken_insns = ctx.Context.stats.Context.insns;

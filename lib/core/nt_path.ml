@@ -116,7 +116,12 @@ let run ?fix_override machine (config : Pe_config.t) coverage ~l1 ~regs ~entry
   in
   let termination = loop () in
   Context.undo_watches sandbox machine.Machine.watch;
-  let _ = Cache.gang_invalidate l1 ~owner:path_id in
+  let squashed_lines = Cache.gang_invalidate l1 ~owner:path_id in
+  let tel = machine.Machine.telemetry in
+  Telemetry.incr tel ("nt.term." ^ termination_name termination);
+  Telemetry.count tel "nt.insns" ctx.Context.stats.Context.insns;
+  Telemetry.count tel "nt.cycles" ctx.Context.stats.Context.cycles;
+  Telemetry.count tel "nt.squashed_lines" squashed_lines;
   {
     spawn_br_pc;
     forced_direction;

@@ -22,7 +22,7 @@ let run () =
   Exp_common.heading
     "Ablation (Section 4.2): following non-taken edges inside NT-Paths";
   let rows =
-    List.map
+    Exp_common.par_map
       (fun (workload : Workload.t) ->
         let cov_off, crash_off = measure workload ~follow:false in
         let cov_on, crash_on = measure workload ~follow:true in
@@ -46,6 +46,6 @@ let run () =
         "crash ratio (forced)";
       ]
     rows;
-  print_endline
+  Sink.print_endline
     "(forcing cold edges inside NT-Paths buys little coverage but multiplies\n\
      the crash ratio — the reason the design follows only taken edges)"

@@ -6,6 +6,21 @@ type run = {
   result : Engine.result;
 }
 
+(* The sweep-wide worker budget, set once from the CLI's --jobs before any
+   experiment runs. *)
+let jobs_setting = Atomic.make 1
+
+let set_jobs n = Atomic.set jobs_setting (max 1 n)
+
+let jobs () = Atomic.get jobs_setting
+
+(* Deterministic fan-out for workload×config sweeps: each item runs on a
+   pool worker (every run owns its own [Machine.t], so runs are trivially
+   independent) and results come back in input order, making a parallel
+   sweep byte-identical to a serial one. Degrades to [List.map] when --jobs
+   is 1 or when already inside a pool worker. *)
+let par_map f xs = Pool.map ~jobs:(jobs ()) f xs
+
 (* Compile and execute one workload configuration. *)
 let run_app ?(detector = Codegen.No_detector) ?(fixing = true) ?bug
     ?(mode = Pe_config.Standard) ?config ?input (workload : Workload.t) =
@@ -19,6 +34,10 @@ let run_app ?(detector = Codegen.No_detector) ?(fixing = true) ?bug
       let c = Workload.pe_config ~mode workload in
       { c with Pe_config.fixing }
   in
+  Telemetry.set_label machine.Machine.telemetry
+    (Printf.sprintf "%s/%s%s" workload.Workload.name
+       (Pe_config.mode_name config.Pe_config.mode)
+       (match bug with Some b -> Printf.sprintf "/v%d" b | None -> ""));
   let result = Engine.run ~config machine in
   { compiled; machine; result }
 
@@ -42,4 +61,4 @@ let overhead_pct ~baseline ~with_pe =
   else 100.0 *. float_of_int (with_pe - baseline) /. float_of_int baseline
 
 let heading title =
-  Printf.printf "\n=== %s ===\n" title
+  Sink.printf "\n=== %s ===\n" title

@@ -6,6 +6,19 @@ type run = {
   result : Engine.result;
 }
 
+(** Set the sweep-wide worker budget (the CLI's --jobs), clamped to >= 1.
+    Call once before running experiments. *)
+val set_jobs : int -> unit
+
+(** Current worker budget (1 unless [set_jobs] raised it). *)
+val jobs : unit -> int
+
+(** Deterministic fan-out for workload×config sweeps: [par_map f xs] maps
+    [f] over [xs] on up to [jobs ()] domains, returning results in input
+    order — parallel sweeps print byte-identically to serial ones. Runs
+    serially when the budget is 1 or when already inside a pool worker. *)
+val par_map : ('a -> 'b) -> 'a list -> 'b list
+
 (** Compile and execute one workload configuration. [config] overrides the
     workload's default PathExpander configuration ([mode] is ignored when
     [config] is given); [fixing] gates both the compiled stubs and the

@@ -14,7 +14,7 @@ let run () =
   Exp_common.heading
     "Coverage (Section 7.3): branch and statement coverage of a single run";
   let rows =
-    List.map
+    Exp_common.par_map
       (fun (workload : Workload.t) ->
         let base, pe, sbase, spe = measure workload in
         ( [

@@ -38,9 +38,15 @@ let run ?(inputs = 50) () =
     ]
   in
   let gains = ref [] in
+  (* one worker per application; each app's 50-input loop is inherently
+     serial (it accumulates one coverage union) *)
+  let results =
+    Exp_common.par_map
+      (fun (w : Workload.t) -> (w, cumulative ~inputs w))
+      apps
+  in
   List.iter
-    (fun (workload : Workload.t) ->
-      let at = cumulative ~inputs workload in
+    (fun ((workload : Workload.t), at) ->
       let cells =
         List.concat_map
           (fun cp ->
@@ -59,7 +65,7 @@ let run ?(inputs = 50) () =
                (fun cp -> [ Printf.sprintf "%d base" cp; Printf.sprintf "%d PE" cp ])
                checkpoints)
         [ workload.Workload.name :: cells ];
-      print_newline ())
-    apps;
-  Printf.printf "Average cumulative improvement after %d inputs: %s\n" inputs
+      Sink.print_newline ())
+    results;
+  Sink.printf "Average cumulative improvement after %d inputs: %s\n" inputs
     (Table.fpct (Stats.mean !gains))

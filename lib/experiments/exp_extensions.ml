@@ -38,10 +38,10 @@ let survival (workload : Workload.t) ~sandbox_syscalls =
   Stats.pct ~num:survived ~den:(max 1 (List.length records))
 
 let run_os_support () =
-  Printf.printf
+  Sink.printf
     "\n-- ext1: OS support for unsafe events (Section 3.2 future work) --\n";
   let rows =
-    List.map
+    Exp_common.par_map
       (fun (workload : Workload.t) ->
         let without = survival workload ~sandbox_syscalls:false in
         let with_os = survival workload ~sandbox_syscalls:true in
@@ -57,7 +57,7 @@ let run_os_support () =
     ~header:
       [ "Application"; "survive 1000 insns"; "with sandboxed syscalls" ]
     rows;
-  print_endline
+  Sink.print_endline
     "(the paper predicted that with OS support 'more than 90% of NT-Paths\n\
      may potentially execute up to 1000 instructions')"
 
@@ -71,11 +71,11 @@ let bc_bug_detected config =
   (Analysis.detected analysis, r.Exp_common.result.Engine.spawns)
 
 let run_random_selection () =
-  Printf.printf
+  Sink.printf
     "\n-- ext2: random factor in NT-Path selection (Section 7.1 suggestion) --\n";
   let chances = [ 0.0; 0.01; 0.05; 0.2 ] in
   let rows =
-    List.map
+    Exp_common.par_map
       (fun chance ->
         let config =
           {
@@ -95,7 +95,7 @@ let run_random_selection () =
     ~aligns:[ Table.Right; Table.Left; Table.Right ]
     ~header:[ "random chance"; "bc hot-edge bug detected"; "NT-Paths" ]
     rows;
-  print_endline
+  Sink.print_endline
     "(at threshold 5 the bug's entry edge is saturated and never spawned;\n\
      a small random factor re-explores hot edges and recovers the bug)"
 
@@ -127,11 +127,11 @@ let diduce_names (workload : Workload.t) ~bug ~mode =
        (Diduce.nt_path_violations train))
 
 let run_diduce () =
-  Printf.printf
+  Sink.printf
     "\n-- ext3: an assertion-free invariant detector (DIDUCE-style) --\n";
   let apps = [ Registry.schedule; Registry.schedule2; Registry.print_tokens2 ] in
   let rows =
-    List.map
+    Exp_common.par_map
       (fun (workload : Workload.t) ->
         let noise = diduce_names workload ~bug:None ~mode:Pe_config.Standard in
         let semantic =
@@ -178,7 +178,7 @@ let run_diduce () =
     ~header:
       [ "Application"; "semantic bugs"; "baseline"; "DIDUCE+PE"; "which" ]
     rows;
-  print_endline
+  Sink.print_endline
     "(no assertions compiled in: the invariant monitor alone, fed non-taken\n\
      paths by PathExpander, exposes the state-smashing bugs)"
 
@@ -228,11 +228,11 @@ let fixing_quality (workload : Workload.t) ~profiled =
   (fps, detected, crash, overrides)
 
 let run_profiled_fixing () =
-  Printf.printf
+  Sink.printf
     "\n-- ext4: profile-guided consistency fixing (Section 4.4 future work) --\n";
   let apps = [ Registry.go; Registry.bc; Registry.man; Registry.print_tokens2 ] in
   let rows =
-    List.map
+    Exp_common.par_map
       (fun (workload : Workload.t) ->
         let b_fp, b_det, b_crash, _ = fixing_quality workload ~profiled:false in
         let p_fp, p_det, p_crash, used = fixing_quality workload ~profiled:true in
@@ -266,7 +266,7 @@ let run_profiled_fixing () =
         "overrides used";
       ]
     rows;
-  print_endline
+  Sink.print_endline
     "(profiled values come from each variable's observed history; detection\n\
      is unchanged and NT-Path crash behaviour stays comparable -- the deeper\n\
      inconsistency misses need the symbolic fixing the paper defers)"

@@ -13,7 +13,7 @@ let run () =
       Analysis.analyze ~compiled:r.Exp_common.compiled
         ~machine:r.Exp_common.machine ~bug
     in
-    Printf.printf "%-24s %-9s detected=%-5b coverage=%5.1f%% reports=%d\n"
+    Sink.printf "%-24s %-9s detected=%-5b coverage=%5.1f%% reports=%d\n"
       (Exp_common.detector_label detector)
       (Pe_config.mode_name mode)
       (Analysis.detected analysis)
@@ -27,7 +27,7 @@ let run () =
       show detector Pe_config.Baseline;
       show detector Pe_config.Standard)
     [ Codegen.Ccured; Codegen.Iwatcher ];
-  print_endline
+  Sink.print_endline
     "The buggy path needs a token that starts with a quotation mark and has\n\
      no second quotation mark; the general input contains none, so only the\n\
      forced NT-Path exposes the overrun to the dynamic checkers."

@@ -63,13 +63,17 @@ let series name total latencies =
 let run () =
   Exp_common.heading
     "Figure 3: Crash-Latency and Unsafe-Latency cumulative distributions";
-  Printf.printf
+  Sink.printf
     "(fraction of NT-Paths stopped by crash / unsafe event before executing\n\
     \ N instructions; NT-Paths spawned on every cold edge, no fixing)\n\n";
+  let collected =
+    Exp_common.par_map
+      (fun (w : Workload.t) -> (w, collect w))
+      Registry.latency_apps
+  in
   List.iter
-    (fun (workload : Workload.t) ->
-      let stats = collect workload in
-      Printf.printf "%s: %d NT-Paths, %s survive to 1000 instructions\n"
+    (fun ((workload : Workload.t), stats) ->
+      Sink.printf "%s: %d NT-Paths, %s survive to 1000 instructions\n"
         workload.Workload.name stats.total
         (Table.fpct (Stats.pct ~num:stats.survived ~den:stats.total));
       Table.print
@@ -78,5 +82,5 @@ let run () =
           series "crash" stats.total stats.crash_latencies;
           series "unsafe event" stats.total stats.unsafe_latencies;
         ];
-      print_newline ())
-    Registry.latency_apps
+      Sink.print_newline ())
+    collected

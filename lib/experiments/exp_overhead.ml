@@ -21,8 +21,10 @@ let measure ?detector (workload : Workload.t) =
   let cmp_cycles, _ = cycles Pe_config.Cmp in
   { app = workload.Workload.name; baseline_cycles; standard_cycles; cmp_cycles; spawns }
 
+(* one pool worker per application; each measures its three modes on
+   machines it owns *)
 let rows ?detector apps =
-  List.map
+  Exp_common.par_map
     (fun w ->
       let m = measure ?detector w in
       let std = Exp_common.overhead_pct ~baseline:m.baseline_cycles ~with_pe:m.standard_cycles in

@@ -1,7 +1,11 @@
 (* Section 7.6 (reconstructed) — effects of the PathExpander parameters:
    MaxNTPathLength, NTPathCounterThreshold and MaxNumNTPaths. The threshold
    sweep also demonstrates recovery of bc's hot-entry-edge bug once the
-   threshold exceeds the edge's early exercise count. *)
+   threshold exceeds the edge's early exercise count.
+
+   Every sweep fans its workload×config grid through [Exp_common.par_map]
+   (one independent Machine.t per cell) and reassembles rows afterwards, so
+   --jobs N runs the grid in parallel with byte-identical output. *)
 
 let sweep_apps () = [ Registry.gzip; Registry.print_tokens; Registry.bc ]
 
@@ -16,25 +20,47 @@ let coverage_and_overhead (workload : Workload.t) config =
       ~with_pe:pe.Exp_common.result.Engine.total_cycles,
     pe.Exp_common.result.Engine.spawns )
 
+(* app-major cartesian grid, and its inverse: split the flat result list
+   back into one chunk per app *)
+let grid apps params =
+  List.concat_map (fun w -> List.map (fun p -> (w, p)) params) apps
+
+let rec chunk n xs =
+  if xs = [] then []
+  else begin
+    let rec take k = function
+      | x :: rest when k > 0 ->
+        let hd, tl = take (k - 1) rest in
+        (x :: hd, tl)
+      | rest -> ([], rest)
+    in
+    let hd, tl = take n xs in
+    hd :: chunk n tl
+  end
+
 let sweep_max_length () =
-  Printf.printf "\n-- MaxNTPathLength sweep (standard configuration) --\n";
+  Sink.printf "\n-- MaxNTPathLength sweep (standard configuration) --\n";
   let lengths = [ 100; 300; 1000; 3000 ] in
+  let apps = sweep_apps () in
+  let cells =
+    Exp_common.par_map
+      (fun ((workload : Workload.t), len) ->
+        let config =
+          {
+            (Workload.pe_config workload) with
+            Pe_config.max_nt_path_length = len;
+          }
+        in
+        let cov, ovh, _ = coverage_and_overhead workload config in
+        [ Table.fpct cov; Table.fpct ovh ])
+      (grid apps lengths)
+  in
   let rows =
-    List.map
-      (fun (workload : Workload.t) ->
-        workload.Workload.name
-        :: List.concat_map
-             (fun len ->
-               let config =
-                 {
-                   (Workload.pe_config workload) with
-                   Pe_config.max_nt_path_length = len;
-                 }
-               in
-               let cov, ovh, _ = coverage_and_overhead workload config in
-               [ Table.fpct cov; Table.fpct ovh ])
-             lengths)
-      (sweep_apps ())
+    List.map2
+      (fun (workload : Workload.t) row_cells ->
+        workload.Workload.name :: List.concat row_cells)
+      apps
+      (chunk (List.length lengths) cells)
   in
   Table.print
     ~header:
@@ -45,29 +71,30 @@ let sweep_max_length () =
     rows
 
 let sweep_threshold () =
-  Printf.printf
+  Sink.printf
     "\n-- NTPathCounterThreshold sweep (coverage; bc hot-edge bug recovery) --\n";
   let thresholds = [ 1; 2; 5; 8; 16 ] in
-  let rows =
-    List.map
-      (fun (workload : Workload.t) ->
-        workload.Workload.name
-        :: List.map
-             (fun t ->
-               let config =
-                 {
-                   (Workload.pe_config workload) with
-                   Pe_config.nt_counter_threshold = t;
-                 }
-               in
-               let cov, _, _ = coverage_and_overhead workload config in
-               Table.fpct cov)
-             thresholds)
-      (sweep_apps ())
+  let apps = sweep_apps () in
+  let cells =
+    Exp_common.par_map
+      (fun ((workload : Workload.t), t) ->
+        let config =
+          {
+            (Workload.pe_config workload) with
+            Pe_config.nt_counter_threshold = t;
+          }
+        in
+        let cov, _, _ = coverage_and_overhead workload config in
+        Table.fpct cov)
+      (grid apps thresholds)
   in
-  Table.print
-    ~header:("coverage" :: List.map string_of_int thresholds)
-    rows;
+  let rows =
+    List.map2
+      (fun (workload : Workload.t) row -> workload.Workload.name :: row)
+      apps
+      (chunk (List.length thresholds) cells)
+  in
+  Table.print ~header:("coverage" :: List.map string_of_int thresholds) rows;
   (* the bc hot-entry-edge bug (v2) versus the threshold *)
   let bug = Workload.find_bug Registry.bc 2 in
   let detect t =
@@ -86,38 +113,45 @@ let sweep_threshold () =
     in
     Analysis.detected analysis
   in
+  let verdicts =
+    Exp_common.par_map (fun t -> string_of_bool (detect t)) thresholds
+  in
   Table.print
     ~header:("bc hot-edge bug detected" :: List.map string_of_int thresholds)
-    [ "detected" :: List.map (fun t -> string_of_bool (detect t)) thresholds ]
+    [ "detected" :: verdicts ]
 
 let sweep_max_paths () =
-  Printf.printf "\n-- MaxNumNTPaths sweep (CMP option) --\n";
+  Sink.printf "\n-- MaxNumNTPaths sweep (CMP option) --\n";
   let limits = [ 1; 4; 8; 32 ] in
+  let apps = sweep_apps () in
+  let cells =
+    Exp_common.par_map
+      (fun ((workload : Workload.t), limit) ->
+        let baseline =
+          Exp_common.run_app ~mode:Pe_config.Baseline workload
+        in
+        let config =
+          {
+            (Workload.pe_config ~mode:Pe_config.Cmp workload) with
+            Pe_config.max_num_nt_paths = limit;
+          }
+        in
+        let pe = Exp_common.run_app ~config workload in
+        [
+          Table.fpct
+            (Exp_common.overhead_pct
+               ~baseline:baseline.Exp_common.result.Engine.total_cycles
+               ~with_pe:pe.Exp_common.result.Engine.total_cycles);
+          string_of_int pe.Exp_common.result.Engine.skipped_spawns;
+        ])
+      (grid apps limits)
+  in
   let rows =
-    List.map
-      (fun (workload : Workload.t) ->
-        workload.Workload.name
-        :: List.concat_map
-             (fun limit ->
-               let baseline =
-                 Exp_common.run_app ~mode:Pe_config.Baseline workload
-               in
-               let config =
-                 {
-                   (Workload.pe_config ~mode:Pe_config.Cmp workload) with
-                   Pe_config.max_num_nt_paths = limit;
-                 }
-               in
-               let pe = Exp_common.run_app ~config workload in
-               [
-                 Table.fpct
-                   (Exp_common.overhead_pct
-                      ~baseline:baseline.Exp_common.result.Engine.total_cycles
-                      ~with_pe:pe.Exp_common.result.Engine.total_cycles);
-                 string_of_int pe.Exp_common.result.Engine.skipped_spawns;
-               ])
-             limits)
-      (sweep_apps ())
+    List.map2
+      (fun (workload : Workload.t) row_cells ->
+        workload.Workload.name :: List.concat row_cells)
+      apps
+      (chunk (List.length limits) cells)
   in
   Table.print
     ~header:

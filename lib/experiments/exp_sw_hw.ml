@@ -27,7 +27,7 @@ let run () =
   Exp_common.heading
     "Hardware vs software PathExpander (Section 7.5): overhead comparison";
   let rows =
-    List.map
+    Exp_common.par_map
       (fun (workload : Workload.t) ->
         let hw, sw = measure workload in
         let ratio = if hw <= 0.0 then infinity else sw /. hw in

@@ -25,7 +25,9 @@ let evaluate_bug (workload : Workload.t) detector (bug : Bug.t) =
 
 let app_row detector (workload : Workload.t) =
   let bugs = Exp_common.bugs_for workload detector in
-  let results = List.map (evaluate_bug workload detector) bugs in
+  (* per-bug fan-out: every (bug, mode) verdict is an independent pair of
+     compile+run jobs *)
+  let results = Exp_common.par_map (evaluate_bug workload detector) bugs in
   {
     app = workload.Workload.name;
     tested = List.length bugs;
@@ -87,7 +89,7 @@ let run () =
       [ "Dynamic Tool"; "Application"; "#Bug Tested"; "Baseline"; "PathExpander" ]
     rows;
   let tested, base, pe = unique_totals () in
-  Printf.printf
+  Sink.printf
     "Distinct bugs: %d tested, %d detected by the baseline, %d detected with\n\
      PathExpander (memory bugs counted once across CCured and iWatcher).\n"
     tested base pe

@@ -35,7 +35,7 @@ let run () =
     "Table 5: False-positive pruning by key-variable value fixing";
   let apps = Exp_tab4.memory_apps () in
   let make_rows detector =
-    List.map
+    Exp_common.par_map
       (fun (w : Workload.t) ->
         let before = evaluate w detector ~fixing:false in
         let after = evaluate w detector ~fixing:true in
@@ -82,6 +82,6 @@ let run () =
         "#Bug after";
       ]
     rows;
-  print_endline
+  Sink.print_endline
     "(the man bug is detected only after fixing: without it the forced edge\n\
      dereferences the NULL include pointer and the NT-Path crashes first)"

@@ -33,6 +33,20 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let run_all () = List.iter (fun e -> e.run ()) all
+let capture e =
+  let (), out = Sink.with_capture e.run in
+  out
+
+(* With [jobs <= 1] experiments stream to stdout as they run; with more, each
+   experiment executes under a domain-local capture buffer and the outputs are
+   printed in registry (presentation) order, so the bytes on stdout are the
+   same either way. Nested fan-out inside an experiment degrades to serial in
+   worker domains (see Pool), so the domain count stays bounded by [jobs]. *)
+let run_list ?jobs experiments =
+  let jobs = match jobs with Some j -> j | None -> Exp_common.jobs () in
+  if jobs <= 1 then List.iter (fun e -> e.run ()) experiments
+  else List.iter Sink.print_string (Pool.map ~jobs capture experiments)
+
+let run_all ?jobs () = run_list ?jobs all
 
 let ids () = List.map (fun e -> e.id) all

@@ -99,3 +99,43 @@ let reset_counters btb =
 
 let lookups btb = btb.lookups
 let miss_count btb = btb.misses
+
+let entry_count btb =
+  Array.length btb.sets * Array.length btb.sets.(0)
+
+let valid_entries btb =
+  let count = ref 0 in
+  Array.iter
+    (fun set -> Array.iter (fun e -> if e.valid then incr count) set)
+    btb.sets;
+  !count
+
+(* Entries whose exercise counters can no longer discriminate cold edges:
+   both counters pinned at the 4-bit maximum. *)
+let saturated_entries btb =
+  let count = ref 0 in
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun e ->
+          if
+            e.valid && e.taken_count >= btb.counter_max
+            && e.nontaken_count >= btb.counter_max
+          then incr count)
+        set)
+    btb.sets;
+  !count
+
+(* BTB pressure for telemetry: occupancy (conflict evictions lose exercise
+   history), miss rate, and the saturated-counter fraction. *)
+let record_telemetry btb sink ~prefix =
+  Telemetry.count sink (prefix ^ ".lookups") btb.lookups;
+  Telemetry.count sink (prefix ^ ".misses") btb.misses;
+  if btb.lookups > 0 then
+    Telemetry.gauge sink (prefix ^ ".miss_rate")
+      (float_of_int btb.misses /. float_of_int btb.lookups);
+  let entries = entry_count btb in
+  Telemetry.gauge sink (prefix ^ ".occupancy")
+    (float_of_int (valid_entries btb) /. float_of_int entries);
+  Telemetry.gauge sink (prefix ^ ".saturation")
+    (float_of_int (saturated_entries btb) /. float_of_int entries)

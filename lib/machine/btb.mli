@@ -27,3 +27,17 @@ val reset_counters : t -> unit
 
 val lookups : t -> int
 val miss_count : t -> int
+
+(** Total entry capacity. *)
+val entry_count : t -> int
+
+(** Entries currently valid. *)
+val valid_entries : t -> int
+
+(** Valid entries with both edge counters pinned at the 4-bit maximum —
+    branches whose counters can no longer discriminate cold edges. *)
+val saturated_entries : t -> int
+
+(** Record lookups, misses, miss rate, occupancy and counter saturation
+    into [sink] under [prefix]-qualified names (e.g. ["btb.saturation"]). *)
+val record_telemetry : t -> Telemetry.t -> prefix:string -> unit

@@ -63,17 +63,21 @@ let victim cache laddr =
 type outcome = Hit | Miss
 
 (* Access a word, filling on miss; returns hit/miss for latency accounting.
-   [owner] tags the filled/updated line (NT-Path writes set their path id).
-   [allocate:false] probes without filling — speculative paths do not
-   install lines in the shared L2, so they can neither pollute it nor act
-   as a prefetcher for the taken path. *)
-let access ?(owner = committed_owner) ?(allocate = true) cache addr =
+   [owner] tags the line on a fill or a write: an NT-Path that *loads* a new
+   line or *stores* through one creates speculative data that must die with
+   the path (the paper's volatile bit / version tag, Sections 4.2-4.3), so
+   both take the path's id. A *read hit* leaves the line's tag alone — the
+   path merely observed committed data, and retagging it would hand the
+   committed line to the path's gang-invalidation at squash, destroying
+   cached state the taken path still owns. *)
+let access ?(owner = committed_owner) ?(write = false) ?(allocate = true) cache
+    addr =
   cache.clock <- cache.clock + 1;
   let laddr = line_addr cache addr in
   match find_line cache laddr with
   | Some line ->
     line.lru <- cache.clock;
-    if owner <> committed_owner then line.owner <- owner;
+    if write then line.owner <- owner;
     cache.hits <- cache.hits + 1;
     Hit
   | None ->
@@ -132,6 +136,28 @@ let owned_lines cache ~owner =
 
 let hits cache = cache.hits
 let misses cache = cache.misses
+
+let valid_lines cache =
+  let count = ref 0 in
+  Array.iter
+    (fun set -> Array.iter (fun line -> if line.valid then incr count) set)
+    cache.sets;
+  !count
+
+let line_count cache =
+  Array.length cache.sets * Array.length cache.sets.(0)
+
+(* Report this cache's access statistics and occupancy into a telemetry
+   sink, under [prefix] (e.g. "l1.primary", "l2"). *)
+let record_telemetry cache sink ~prefix =
+  Telemetry.count sink (prefix ^ ".hits") cache.hits;
+  Telemetry.count sink (prefix ^ ".misses") cache.misses;
+  let total = cache.hits + cache.misses in
+  if total > 0 then
+    Telemetry.gauge sink (prefix ^ ".hit_rate")
+      (float_of_int cache.hits /. float_of_int total);
+  Telemetry.gauge sink (prefix ^ ".occupancy")
+    (float_of_int (valid_lines cache) /. float_of_int (line_count cache))
 
 let reset_stats cache =
   cache.hits <- 0;

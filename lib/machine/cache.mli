@@ -15,11 +15,14 @@ val committed_owner : int
 
 val create : size_kb:int -> assoc:int -> line_bytes:int -> t
 
-(** [access ?owner ?allocate cache addr] touches the line holding word
-    [addr], filling it on a miss unless [allocate] is [false] (speculative
-    paths probe the shared L2 without installing lines); [owner], when
-    given, version-tags the line. *)
-val access : ?owner:int -> ?allocate:bool -> t -> int -> outcome
+(** [access ?owner ?write ?allocate cache addr] touches the line holding
+    word [addr], filling it on a miss unless [allocate] is [false]
+    (speculative paths probe the shared L2 without installing lines).
+    [owner] version-tags the line on a fill, and — when [write] is true —
+    on a hit as well: NT-Path fills and stores create speculative data that
+    must die with the path, but a read hit leaves a committed line
+    committed. *)
+val access : ?owner:int -> ?write:bool -> ?allocate:bool -> t -> int -> outcome
 
 (** Invalidate all lines version-tagged [owner]; returns how many. *)
 val gang_invalidate : t -> owner:int -> int
@@ -31,6 +34,17 @@ val owned_lines : t -> owner:int -> int
 
 val hits : t -> int
 val misses : t -> int
+
+(** Number of valid lines currently installed. *)
+val valid_lines : t -> int
+
+(** Total line capacity. *)
+val line_count : t -> int
+
+(** Record hits, misses, hit rate and occupancy into [sink] under
+    [prefix]-qualified names (e.g. ["l2.hit_rate"]). *)
+val record_telemetry : t -> Telemetry.t -> prefix:string -> unit
+
 val reset_stats : t -> unit
 
 (** Invalidate everything and reset statistics. *)

@@ -39,9 +39,13 @@ let data_read machine ctx addr =
   check_watch machine ctx ~is_write:false addr;
   let stats = ctx.Context.stats in
   stats.Context.loads <- stats.Context.loads + 1;
+  (* the path id rides along so a sandboxed read *fill* takes speculative
+     ownership (the line dies with the path, no prefetching for the taken
+     path); a read *hit* never retags — see [Cache.access] *)
   stats.Context.cycles <-
     stats.Context.cycles
-    + Machine.access_latency machine ctx.Context.l1 ~owner:Cache.committed_owner
+    + Machine.access_latency machine ctx.Context.l1
+        ~owner:(Context.path_id ctx) ~write:false
         ~speculative:(Context.is_sandboxed ctx) addr;
   Context.read_mem ctx machine.Machine.mem addr
 
@@ -57,7 +61,8 @@ let data_write machine ctx addr value =
   stats.Context.stores <- stats.Context.stores + 1;
   stats.Context.cycles <-
     stats.Context.cycles
-    + Machine.access_latency machine ctx.Context.l1 ~owner:(Context.path_id ctx)
+    + Machine.access_latency machine ctx.Context.l1
+        ~owner:(Context.path_id ctx) ~write:true
         ~speculative:(Context.is_sandboxed ctx) addr;
   match ctx.Context.sandbox with
   | Some sb ->

@@ -9,6 +9,7 @@ type t = {
   io : Io.t;
   mutable insn_index : int;
   mutable store_hook : (Context.t -> int -> int -> unit) option;
+  telemetry : Telemetry.t;
 }
 
 let create ?(config = Machine_config.default) ?(input = "") program =
@@ -40,6 +41,7 @@ let create ?(config = Machine_config.default) ?(input = "") program =
     io = Io.create ~input ();
     insn_index = 0;
     store_hook = None;
+    telemetry = Telemetry.create ();
   }
 
 let new_l1 machine =
@@ -53,9 +55,11 @@ let main_context machine =
 
 (* Extra cycles for a data access: L1 hits are pipelined (no stall), an L1
    miss pays the latency of the level that services it. Speculative paths
-   (non-zero owner) fill their own L1 but only probe the shared L2. *)
-let access_latency machine l1 ~owner ~speculative addr =
-  match Cache.access ~owner l1 addr with
+   (non-zero owner) fill their own L1 — fills and writes take the path's
+   version tag, read hits leave committed lines committed — but only probe
+   the shared L2. *)
+let access_latency machine l1 ~owner ~write ~speculative addr =
+  match Cache.access ~owner ~write l1 addr with
   | Cache.Hit -> 0
   | Cache.Miss ->
     (match Cache.access ~allocate:(not speculative) machine.l2 addr with

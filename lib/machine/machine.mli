@@ -18,6 +18,10 @@ type t = {
           store (including sandboxed ones) — the attachment point for
           detectors built outside the compiler, such as the DIDUCE-style
           invariant monitor *)
+  telemetry : Telemetry.t;
+      (** per-run observability sink; the engine fills it with spawn,
+          termination, cache, BTB and phase-timing data and submits it to
+          the global collector at the end of the run *)
 }
 
 (** Validates the program, lays out memory, installs initial data and points
@@ -32,9 +36,11 @@ val new_l1 : t -> Cache.t
 val main_context : t -> Context.t
 
 (** Extra stall cycles for a data access at [addr] through [l1] (0 on L1
-    hit); [owner] version-tags the touched line; [speculative] accesses
-    probe the shared L2 without installing lines. *)
-val access_latency : t -> Cache.t -> owner:int -> speculative:bool -> int -> int
+    hit); [owner] version-tags the line on fills and — when [write] — on
+    hits (read hits leave committed lines committed); [speculative]
+    accesses probe the shared L2 without installing lines. *)
+val access_latency :
+  t -> Cache.t -> owner:int -> write:bool -> speculative:bool -> int -> int
 
 val site_count : t -> int
 

@@ -1,0 +1,315 @@
+(* Lightweight observability for simulator runs: named counters, float
+   gauges, accumulating wall-clock timers and a bounded span trace, emitted
+   as structured JSON (per run, or aggregated over a sweep).
+
+   A sink belongs to exactly one run (one [Machine.t]); it is mutated from a
+   single domain, so none of the per-sink operations lock. The only shared
+   state is the optional process-global collector, which is mutex-protected
+   so parallel sweep workers can submit their sinks concurrently. *)
+
+type timer = {
+  mutable total_s : float;
+  mutable count : int;
+  mutable max_s : float;
+}
+
+type span = { sp_name : string; sp_depth : int; sp_start_s : float; sp_dur_s : float }
+
+type t = {
+  mutable label : string;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  timers : (string, timer) Hashtbl.t;
+  mutable trace : span list;  (* newest first, bounded *)
+  mutable trace_len : int;
+  mutable depth : int;
+  created_s : float;
+}
+
+let trace_limit = 64
+
+let now () = Unix.gettimeofday ()
+
+let create ?(label = "") () =
+  {
+    label;
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    timers = Hashtbl.create 8;
+    trace = [];
+    trace_len = 0;
+    depth = 0;
+    created_s = now ();
+  }
+
+let set_label t label = t.label <- label
+let label t = t.label
+
+let count t name n =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace t.counters name (ref n)
+
+let incr t name = count t name 1
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.gauges name with Some r -> Some !r | None -> None
+
+let timer_record t name dur =
+  let tm =
+    match Hashtbl.find_opt t.timers name with
+    | Some tm -> tm
+    | None ->
+      let tm = { total_s = 0.0; count = 0; max_s = 0.0 } in
+      Hashtbl.replace t.timers name tm;
+      tm
+  in
+  tm.total_s <- tm.total_s +. dur;
+  tm.count <- tm.count + 1;
+  if dur > tm.max_s then tm.max_s <- dur
+
+let push_span t name start dur =
+  if t.trace_len < trace_limit then begin
+    t.trace <-
+      {
+        sp_name = name;
+        sp_depth = t.depth;
+        sp_start_s = start -. t.created_s;
+        sp_dur_s = dur;
+      }
+      :: t.trace;
+    t.trace_len <- t.trace_len + 1
+  end
+
+(* Time [f], accumulating under timer [name] and recording a trace span.
+   Nested [span] calls record their depth, giving a poor man's trace tree. *)
+let span t name f =
+  let start = now () in
+  t.depth <- t.depth + 1;
+  let finish () =
+    t.depth <- t.depth - 1;
+    let dur = now () -. start in
+    timer_record t name dur;
+    push_span t name start dur
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+let timer_total t name =
+  match Hashtbl.find_opt t.timers name with Some tm -> tm.total_s | None -> 0.0
+
+(* ---- JSON emission (hand-rolled; keys sorted so output is stable) ------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+let jfloat x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.6g" x
+
+let jobj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters_json t =
+  jobj (List.map (fun (k, r) -> (k, string_of_int !r)) (sorted_bindings t.counters))
+
+let gauges_json t =
+  jobj (List.map (fun (k, r) -> (k, jfloat !r)) (sorted_bindings t.gauges))
+
+let timers_json t =
+  jobj
+    (List.map
+       (fun (k, tm) ->
+         ( k,
+           jobj
+             [
+               ("total_s", jfloat tm.total_s);
+               ("count", string_of_int tm.count);
+               ("max_s", jfloat tm.max_s);
+             ] ))
+       (sorted_bindings t.timers))
+
+let trace_json t =
+  let spans = List.rev t.trace in
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun sp ->
+           jobj
+             [
+               ("name", jstr sp.sp_name);
+               ("depth", string_of_int sp.sp_depth);
+               ("start_s", jfloat sp.sp_start_s);
+               ("dur_s", jfloat sp.sp_dur_s);
+             ])
+         spans)
+  ^ "]"
+
+let to_json t =
+  jobj
+    [
+      ("label", jstr t.label);
+      ("counters", counters_json t);
+      ("gauges", gauges_json t);
+      ("timers", timers_json t);
+      ("trace", trace_json t);
+    ]
+
+(* ---- Aggregation over a sweep ------------------------------------------- *)
+
+type dist = { sum : float; min_v : float; max_v : float; n : int }
+
+let dist_add d v =
+  match d with
+  | None -> Some { sum = v; min_v = v; max_v = v; n = 1 }
+  | Some d ->
+    Some
+      {
+        sum = d.sum +. v;
+        min_v = Float.min d.min_v v;
+        max_v = Float.max d.max_v v;
+        n = d.n + 1;
+      }
+
+let dist_json d =
+  jobj
+    [
+      ("sum", jfloat d.sum);
+      ("mean", jfloat (d.sum /. float_of_int d.n));
+      ("min", jfloat d.min_v);
+      ("max", jfloat d.max_v);
+      ("runs", string_of_int d.n);
+    ]
+
+(* Aggregate many per-run sinks into one JSON object: counters and gauges
+   become sum/mean/min/max distributions keyed by name; timers sum their
+   totals and invocation counts. *)
+let aggregate_json sinks =
+  let cdists : (string, dist option ref) Hashtbl.t = Hashtbl.create 32 in
+  let add tbl name v =
+    match Hashtbl.find_opt tbl name with
+    | Some r -> r := dist_add !r v
+    | None -> Hashtbl.replace tbl name (ref (dist_add None v))
+  in
+  let gdists : (string, dist option ref) Hashtbl.t = Hashtbl.create 32 in
+  let ttotals : (string, timer) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      Hashtbl.iter (fun k r -> add cdists k (float_of_int !r)) t.counters;
+      Hashtbl.iter (fun k r -> add gdists k !r) t.gauges;
+      Hashtbl.iter
+        (fun k tm ->
+          let acc =
+            match Hashtbl.find_opt ttotals k with
+            | Some acc -> acc
+            | None ->
+              let acc = { total_s = 0.0; count = 0; max_s = 0.0 } in
+              Hashtbl.replace ttotals k acc;
+              acc
+          in
+          acc.total_s <- acc.total_s +. tm.total_s;
+          acc.count <- acc.count + tm.count;
+          if tm.max_s > acc.max_s then acc.max_s <- tm.max_s)
+        t.timers)
+    sinks;
+  let dists_json tbl =
+    jobj
+      (List.filter_map
+         (fun (k, r) -> Option.map (fun d -> (k, dist_json d)) !r)
+         (sorted_bindings tbl))
+  in
+  jobj
+    [
+      ("runs", string_of_int (List.length sinks));
+      ("counters", dists_json cdists);
+      ("gauges", dists_json gdists);
+      ( "timers",
+        jobj
+          (List.map
+             (fun (k, tm) ->
+               ( k,
+                 jobj
+                   [
+                     ("total_s", jfloat tm.total_s);
+                     ("count", string_of_int tm.count);
+                     ("max_s", jfloat tm.max_s);
+                   ] ))
+             (sorted_bindings ttotals)) );
+    ]
+
+(* ---- Process-global collector ------------------------------------------- *)
+
+let collector_mutex = Mutex.create ()
+let collector : (t -> unit) option ref = ref None
+
+let set_collector c =
+  Mutex.lock collector_mutex;
+  collector := c;
+  Mutex.unlock collector_mutex
+
+let collecting () =
+  Mutex.lock collector_mutex;
+  let r = !collector <> None in
+  Mutex.unlock collector_mutex;
+  r
+
+(* Hand a finished run's sink to the installed collector (no-op without
+   one). Safe to call from any domain. *)
+let submit t =
+  Mutex.lock collector_mutex;
+  let c = !collector in
+  Mutex.unlock collector_mutex;
+  match c with None -> () | Some f -> f t
+
+(* Install a list-accumulating collector around [f]; returns [f ()]'s value
+   together with every sink submitted during it, in submission order. *)
+let collect_runs f =
+  let acc = ref [] in
+  let acc_mutex = Mutex.create () in
+  set_collector
+    (Some
+       (fun t ->
+         Mutex.lock acc_mutex;
+         acc := t :: !acc;
+         Mutex.unlock acc_mutex));
+  let finish () = set_collector None in
+  match f () with
+  | v ->
+    finish ();
+    (v, List.rev !acc)
+  | exception e ->
+    finish ();
+    raise e

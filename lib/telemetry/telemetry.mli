@@ -1,0 +1,68 @@
+(** Lightweight observability for simulator runs.
+
+    A sink collects named integer counters, float gauges, accumulating
+    wall-clock timers and a bounded span trace, and renders them as
+    deterministic-keyed JSON. One sink belongs to one run (one [Machine.t])
+    and is mutated from a single domain; the optional process-global
+    collector is mutex-protected so parallel sweep workers can submit
+    concurrently.
+
+    The JSON schema (documented in DESIGN.md):
+    {v
+    { "label":    "<run label>",
+      "counters": { "<name>": <int>, ... },
+      "gauges":   { "<name>": <float>, ... },
+      "timers":   { "<name>": {"total_s":f, "count":i, "max_s":f}, ... },
+      "trace":    [ {"name":s, "depth":i, "start_s":f, "dur_s":f}, ... ] }
+    v} *)
+
+type t
+
+val create : ?label:string -> unit -> t
+val set_label : t -> string -> unit
+val label : t -> string
+
+(** [count t name n] adds [n] to counter [name] (created at 0). *)
+val count : t -> string -> int -> unit
+
+val incr : t -> string -> unit
+
+(** Current value of a counter (0 when never touched). *)
+val counter : t -> string -> int
+
+(** [gauge t name v] sets gauge [name] to [v] (last write wins). *)
+val gauge : t -> string -> float -> unit
+
+val gauge_value : t -> string -> float option
+
+(** [span t name f] runs [f], accumulating its wall time under timer [name]
+    and appending a span (with nesting depth) to the bounded trace. *)
+val span : t -> string -> (unit -> 'a) -> 'a
+
+(** Record an externally measured duration under timer [name]. *)
+val timer_record : t -> string -> float -> unit
+
+(** Accumulated seconds under a timer (0 when never touched). *)
+val timer_total : t -> string -> float
+
+(** One run's telemetry as a single-line JSON object, keys sorted. *)
+val to_json : t -> string
+
+(** Aggregate many per-run sinks: counters and gauges become
+    sum/mean/min/max/runs distributions; timers sum totals and counts. *)
+val aggregate_json : t list -> string
+
+(** Install (or clear) the process-global collector that [submit] feeds. *)
+val set_collector : (t -> unit) option -> unit
+
+(** Whether a collector is installed. *)
+val collecting : unit -> bool
+
+(** Hand a finished run's sink to the collector; no-op without one. Safe
+    from any domain. *)
+val submit : t -> unit
+
+(** [collect_runs f] installs a list-accumulating collector around [f];
+    returns [f ()]'s result and the sinks submitted during it, in
+    submission order. Clears the collector afterwards (also on raise). *)
+val collect_runs : (unit -> 'a) -> 'a * t list

@@ -1,0 +1,43 @@
+(* Domain-local output redirection for the experiment harness.
+
+   Experiment code prints through [Sink.printf] (and friends) instead of
+   [Printf.printf]. By default that is stdout, so standalone use is
+   unchanged; under [with_capture] the current domain's output is diverted
+   into a buffer instead. Because the redirection is domain-local, many
+   captured experiments can run on parallel domains without interleaving,
+   and the harness can emit their outputs afterwards in a deterministic
+   order. *)
+
+let buffer_key : Buffer.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current () = !(Domain.DLS.get buffer_key)
+
+let print_string s =
+  match current () with
+  | Some buf -> Buffer.add_string buf s
+  | None -> Stdlib.print_string s
+
+let print_endline s = print_string (s ^ "\n")
+
+let print_newline () = print_string "\n"
+
+let printf fmt = Printf.ksprintf print_string fmt
+
+(* Run [f] with this domain's sink output diverted into a fresh buffer;
+   returns [f ()]'s value and everything it printed. Nests: the previous
+   destination (stdout or an outer capture) is restored afterwards, also on
+   raise. *)
+let with_capture f =
+  let slot = Domain.DLS.get buffer_key in
+  let saved = !slot in
+  let buf = Buffer.create 4096 in
+  slot := Some buf;
+  let finish () = slot := saved in
+  match f () with
+  | v ->
+    finish ();
+    (v, Buffer.contents buf)
+  | exception e ->
+    finish ();
+    raise e

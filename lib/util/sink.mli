@@ -1,0 +1,16 @@
+(** Domain-local output redirection for the experiment harness.
+
+    Experiment code prints through these instead of [Printf.printf]; output
+    goes to stdout unless the current domain is inside [with_capture], in
+    which case it is collected into a buffer. Domain-local, so captured
+    experiments on parallel domains never interleave. *)
+
+val print_string : string -> unit
+val print_endline : string -> unit
+val print_newline : unit -> unit
+val printf : ('a, unit, string, unit) format4 -> 'a
+
+(** [with_capture f] diverts this domain's sink output into a fresh buffer
+    for the duration of [f]; returns [f ()]'s value and the captured text.
+    Nests; restores the previous destination on return or raise. *)
+val with_capture : (unit -> 'a) -> 'a * string

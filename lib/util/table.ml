@@ -45,7 +45,8 @@ let render ?(aligns = []) ~header rows =
   in
   String.concat "\n" lines
 
-let print ?aligns ~header rows = print_endline (render ?aligns ~header rows)
+(* Through [Sink] so captured experiment runs collect their tables. *)
+let print ?aligns ~header rows = Sink.print_endline (render ?aligns ~header rows)
 
 let fpct x = Printf.sprintf "%.1f%%" x
 

@@ -301,6 +301,63 @@ int main() {
   Alcotest.(check int) "watch table restored" before
     (Watchpoints.count machine.Machine.watch)
 
+let test_counter_reset_pinned_to_primary () =
+  (* Regression: [CounterResetInterval] must be driven by the primary
+     context's retired instructions, not [Machine.insn_index] (which also
+     advances inside sandboxed NT-Paths and would accelerate the cadence by
+     however much speculative work happened to run). *)
+  let interval = 40 in
+  let config =
+    { Pe_config.default with Pe_config.counter_reset_interval = interval }
+  in
+  let _, machine, result = run_source ~config cold_path_source in
+  let tel = machine.Machine.telemetry in
+  let taken = result.Engine.taken_insns in
+  let nt = Telemetry.counter tel "nt.insns" in
+  let resets = Telemetry.counter tel "btb.counter_resets" in
+  Alcotest.(check bool) "NT-Paths ran enough to skew a global cadence" true
+    (nt > 2 * interval);
+  Alcotest.(check bool) "resets follow primary retirement" true
+    (resets >= (taken / interval) - 1 && resets <= taken / interval);
+  Alcotest.(check bool) "not inflated by sandboxed instructions" true
+    (resets < (taken + nt) / interval)
+
+let test_path_id_wrap () =
+  (* More than 255 spawns wraps the 8-bit version-tag space; id reuse must
+     not let an old path's squash destroy anything, and the architectural
+     output must stay exactly the baseline's. *)
+  let w = Registry.go in
+  let compile () = Workload.compile w in
+  let run mode =
+    let compiled = compile () in
+    let machine =
+      Machine.create ~input:w.Workload.default_input compiled.Compile.program
+    in
+    let result = Engine.run ~config:(Workload.pe_config ~mode w) machine in
+    (machine, result)
+  in
+  let machine_base, _ = run Pe_config.Baseline in
+  let machine_pe, result = run Pe_config.Standard in
+  Alcotest.(check bool) "spawns exceed the id space" true
+    (result.Engine.spawns > 255);
+  Alcotest.(check string) "output identical to baseline"
+    (Machine.output machine_base) (Machine.output machine_pe);
+  Alcotest.(check bool) "defensive cleanup found nothing stale" true
+    (Telemetry.counter machine_pe.Machine.telemetry "path_id.stale_lines_cleaned"
+     = 0)
+
+let test_run_telemetry_populated () =
+  let _, machine, result = run_source cold_path_source in
+  let tel = machine.Machine.telemetry in
+  Alcotest.(check int) "spawn counter mirrors result" result.Engine.spawns
+    (Telemetry.counter tel "engine.spawns");
+  Alcotest.(check int) "taken insns mirror result" result.Engine.taken_insns
+    (Telemetry.counter tel "taken.insns");
+  Alcotest.(check bool) "engine.run span recorded" true
+    (Telemetry.timer_total tel "engine.run" > 0.0);
+  Alcotest.(check bool) "coverage gauge set" true
+    (Telemetry.gauge_value tel "coverage.combined_pct" <> None)
+
 let tests =
   [
     Alcotest.test_case "baseline spawns nothing" `Quick test_baseline_spawns_nothing;
@@ -318,4 +375,9 @@ let tests =
     Alcotest.test_case "counter reset respawns" `Quick test_counter_reset_respawns;
     Alcotest.test_case "reports survive squash" `Quick test_reports_survive_squash;
     Alcotest.test_case "watchpoints restored" `Quick test_watchpoints_restored_after_squash;
+    Alcotest.test_case "counter reset pinned to primary" `Quick
+      test_counter_reset_pinned_to_primary;
+    Alcotest.test_case "path-id wrap" `Slow test_path_id_wrap;
+    Alcotest.test_case "run telemetry populated" `Quick
+      test_run_telemetry_populated;
   ]

@@ -69,6 +69,50 @@ let test_cache_versioning () =
   Alcotest.(check bool) "committed line unaffected" true
     (Cache.access c 256 = Cache.Hit)
 
+(* Ownership semantics across the hit/fill × read/write matrix: only
+   NT-Path *fills and writes* create speculative data; a read hit must leave
+   a committed line committed, or squashing the path would destroy
+   architectural data it merely looked at. *)
+let test_cache_read_hit_keeps_committed () =
+  let c = Cache.create ~size_kb:1 ~assoc:2 ~line_bytes:32 in
+  ignore (Cache.access c 0);
+  (* NT-Path 3 reads the committed line *)
+  Alcotest.(check bool) "read hit" true (Cache.access ~owner:3 c 0 = Cache.Hit);
+  Alcotest.(check int) "line stays committed" 0 (Cache.owned_lines c ~owner:3);
+  Alcotest.(check int) "squash invalidates nothing" 0
+    (Cache.gang_invalidate c ~owner:3);
+  Alcotest.(check bool) "committed data survives the squash" true
+    (Cache.access c 0 = Cache.Hit)
+
+let test_cache_write_hit_takes_ownership () =
+  let c = Cache.create ~size_kb:1 ~assoc:2 ~line_bytes:32 in
+  ignore (Cache.access c 0);
+  ignore (Cache.access ~owner:3 ~write:true c 0);
+  Alcotest.(check int) "write hit retags" 1 (Cache.owned_lines c ~owner:3);
+  Alcotest.(check int) "squash removes it" 1 (Cache.gang_invalidate c ~owner:3);
+  Alcotest.(check bool) "speculative line gone" true
+    (Cache.access c 0 = Cache.Miss)
+
+let test_cache_read_fill_takes_ownership () =
+  (* a read *miss* inside the sandbox installs a speculative line, so the
+     NT-Path cannot act as a prefetcher for the taken path *)
+  let c = Cache.create ~size_kb:1 ~assoc:2 ~line_bytes:32 in
+  ignore (Cache.access ~owner:4 c 0);
+  Alcotest.(check int) "fill owned by the path" 1 (Cache.owned_lines c ~owner:4);
+  Alcotest.(check int) "squashed" 1 (Cache.gang_invalidate c ~owner:4);
+  Alcotest.(check bool) "no warm line left behind" true
+    (Cache.access c 0 = Cache.Miss)
+
+let test_cache_occupancy () =
+  let c = Cache.create ~size_kb:1 ~assoc:2 ~line_bytes:32 in
+  Alcotest.(check int) "capacity (1KB / 32B)" 32 (Cache.line_count c);
+  Alcotest.(check int) "empty" 0 (Cache.valid_lines c);
+  ignore (Cache.access c 0);
+  ignore (Cache.access ~owner:2 c 64);
+  Alcotest.(check int) "two lines installed" 2 (Cache.valid_lines c);
+  ignore (Cache.gang_invalidate c ~owner:2);
+  Alcotest.(check int) "one after squash" 1 (Cache.valid_lines c)
+
 let test_cache_commit () =
   let c = Cache.create ~size_kb:1 ~assoc:2 ~line_bytes:32 in
   ignore (Cache.access ~owner:5 c 0);
@@ -121,6 +165,25 @@ let test_btb_eviction () =
   Btb.exercise btb 65 ~taken:true;
   Alcotest.(check (pair int int)) "evicted reads zero" (0, 0) (Btb.counts btb 33);
   Alcotest.(check (pair int int)) "survivor keeps count" (1, 0) (Btb.counts btb 1)
+
+let test_btb_occupancy_saturation () =
+  let btb = Btb.create ~entries:64 ~assoc:2 in
+  Alcotest.(check int) "capacity" 64 (Btb.entry_count btb);
+  Alcotest.(check int) "empty" 0 (Btb.valid_entries btb);
+  Btb.exercise btb 1 ~taken:true;
+  Btb.exercise btb 2 ~taken:false;
+  Alcotest.(check int) "two valid" 2 (Btb.valid_entries btb);
+  Alcotest.(check int) "none saturated" 0 (Btb.saturated_entries btb);
+  (* pin both edges of branch 1 at the 4-bit maximum *)
+  for _ = 1 to 20 do
+    Btb.exercise btb 1 ~taken:true;
+    Btb.exercise btb 1 ~taken:false
+  done;
+  Alcotest.(check int) "one fully saturated entry" 1 (Btb.saturated_entries btb);
+  Btb.reset_counters btb;
+  Alcotest.(check int) "reset clears saturation" 0 (Btb.saturated_entries btb);
+  Alcotest.(check int) "entries stay valid across reset" 2
+    (Btb.valid_entries btb)
 
 let test_watchpoints () =
   let w = Watchpoints.create () in
@@ -241,6 +304,13 @@ let tests =
     Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
     Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
     Alcotest.test_case "cache versioning" `Quick test_cache_versioning;
+    Alcotest.test_case "cache read hit keeps committed" `Quick
+      test_cache_read_hit_keeps_committed;
+    Alcotest.test_case "cache write hit takes ownership" `Quick
+      test_cache_write_hit_takes_ownership;
+    Alcotest.test_case "cache read fill takes ownership" `Quick
+      test_cache_read_fill_takes_ownership;
+    Alcotest.test_case "cache occupancy" `Quick test_cache_occupancy;
     Alcotest.test_case "cache commit" `Quick test_cache_commit;
     Alcotest.test_case "cache no-allocate" `Quick test_cache_no_allocate;
     Alcotest.test_case "cache negative address" `Quick test_cache_negative_address;
@@ -248,6 +318,8 @@ let tests =
     Alcotest.test_case "btb saturation" `Quick test_btb_saturation;
     Alcotest.test_case "btb reset" `Quick test_btb_reset;
     Alcotest.test_case "btb eviction" `Quick test_btb_eviction;
+    Alcotest.test_case "btb occupancy and saturation" `Quick
+      test_btb_occupancy_saturation;
     Alcotest.test_case "watchpoints" `Quick test_watchpoints;
     Alcotest.test_case "watchpoint modes" `Quick test_watchpoint_modes;
     Alcotest.test_case "watchpoints unwatch undo" `Quick test_watchpoints_unwatch_undo;

@@ -12,6 +12,8 @@ let () =
       ("detectors", Test_detectors.tests);
       ("workloads", Test_workloads.tests);
       ("extensions", Test_extensions.tests);
+      ("telemetry", Test_telemetry.tests);
+      ("parallel", Test_parallel.tests);
       ("more", Test_more.tests);
       ("properties", Test_props.tests);
     ]

@@ -1,0 +1,119 @@
+(* Parallel harness tests: the Pool domain pool (ordering, nesting,
+   exceptions), the Sink capture buffers, and end-to-end determinism of the
+   experiment runner — a parallel sweep must print exactly the serial bytes. *)
+
+let range n = List.init n (fun i -> i)
+
+let test_pool_order () =
+  let xs = range 100 in
+  Alcotest.(check (list int)) "matches serial map"
+    (List.map (fun x -> (x * 31) mod 97) xs)
+    (Pool.map ~jobs:4 (fun x -> (x * 31) mod 97) xs)
+
+let test_pool_degenerate () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Pool.map ~jobs:4 succ [ 1 ]);
+  Alcotest.(check (list int)) "more jobs than work" [ 1; 2; 3 ]
+    (Pool.map ~jobs:16 succ [ 0; 1; 2 ]);
+  Alcotest.(check (list int)) "jobs=1 is List.map" [ 1; 2 ]
+    (Pool.map ~jobs:1 succ [ 0; 1 ])
+
+let test_pool_nested () =
+  (* an inner map inside a worker degrades to serial instead of spawning
+     another pool; results are still positional *)
+  let out =
+    Pool.map ~jobs:3
+      (fun x ->
+        Alcotest.(check bool) "inside worker" true (Pool.in_worker ());
+        Pool.map ~jobs:3 (fun y -> (10 * x) + y) [ 1; 2 ])
+      (range 5)
+  in
+  Alcotest.(check (list (list int))) "nested results"
+    (List.map (fun x -> [ (10 * x) + 1; (10 * x) + 2 ]) (range 5))
+    out;
+  Alcotest.(check bool) "not a worker outside" false (Pool.in_worker ())
+
+let test_pool_exception () =
+  Alcotest.check_raises "worker exception re-raised" Exit (fun () ->
+      ignore (Pool.map ~jobs:4 (fun x -> if x = 7 then raise Exit else x) (range 20)))
+
+let test_sink_capture () =
+  let v, out =
+    Sink.with_capture (fun () ->
+        Sink.print_string "a";
+        Sink.printf "%d" 1;
+        Sink.print_endline "b";
+        Sink.print_newline ();
+        42)
+  in
+  Alcotest.(check int) "result" 42 v;
+  Alcotest.(check string) "captured" "a1b\n\n" out
+
+let test_sink_nested () =
+  let (inner_v, inner_out), outer_out =
+    Sink.with_capture (fun () ->
+        Sink.print_string "before ";
+        let r = Sink.with_capture (fun () -> Sink.print_string "inner"; 1) in
+        Sink.print_string "after";
+        r)
+  in
+  Alcotest.(check int) "inner result" 1 inner_v;
+  Alcotest.(check string) "inner capture" "inner" inner_out;
+  Alcotest.(check string) "outer skips inner" "before after" outer_out
+
+let test_sink_restored_on_raise () =
+  let (), out =
+    Sink.with_capture (fun () ->
+        (try
+           ignore
+             (Sink.with_capture (fun () ->
+                  Sink.print_string "lost";
+                  raise Exit))
+         with Exit -> ());
+        Sink.print_string "back")
+  in
+  Alcotest.(check string) "outer sink restored" "back" out
+
+let with_jobs n f =
+  let old = Exp_common.jobs () in
+  Exp_common.set_jobs n;
+  Fun.protect ~finally:(fun () -> Exp_common.set_jobs old) f
+
+let experiment id =
+  match Runner.find id with
+  | Some e -> e
+  | None -> Alcotest.failf "experiment %s missing from registry" id
+
+(* The headline acceptance test: an experiment whose inner sweep fans across
+   real domains (abl1 par_maps three workloads) must produce byte-identical
+   output to its serial run. *)
+let test_experiment_determinism () =
+  let e = experiment "abl1" in
+  let serial = with_jobs 1 (fun () -> Runner.capture e) in
+  let parallel = with_jobs 4 (fun () -> Runner.capture e) in
+  Alcotest.(check bool) "produced output" true (String.length serial > 0);
+  Alcotest.(check string) "jobs=4 byte-identical to serial" serial parallel
+
+let test_runner_parallel_order () =
+  (* experiment-level fan-out: captured outputs are printed in registry
+     order, so a parallel run of several experiments concatenates exactly *)
+  let es = List.map experiment [ "tab2"; "tab3" ] in
+  let expected = String.concat "" (List.map Runner.capture es) in
+  let (), streamed =
+    Sink.with_capture (fun () -> Runner.run_list ~jobs:2 es)
+  in
+  Alcotest.(check string) "order preserved" expected streamed
+
+let tests =
+  [
+    Alcotest.test_case "pool preserves order" `Quick test_pool_order;
+    Alcotest.test_case "pool degenerate inputs" `Quick test_pool_degenerate;
+    Alcotest.test_case "pool nested maps" `Quick test_pool_nested;
+    Alcotest.test_case "pool exception" `Quick test_pool_exception;
+    Alcotest.test_case "sink capture" `Quick test_sink_capture;
+    Alcotest.test_case "sink nesting" `Quick test_sink_nested;
+    Alcotest.test_case "sink restored on raise" `Quick test_sink_restored_on_raise;
+    Alcotest.test_case "sweep determinism (jobs=4 = serial)" `Slow
+      test_experiment_determinism;
+    Alcotest.test_case "runner output order" `Quick test_runner_parallel_order;
+  ]
