@@ -151,12 +151,12 @@ let kernels =
       Test.make ~name:"abl1-forced-edges" (Staged.stage bench_abl1);
     ]
 
-let run_bechamel () =
+let run_bechamel ~quota () =
   print_endline "\n=== Bechamel micro-benchmarks (one kernel per table/figure) ===";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second quota) ~kde:None () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] kernels in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows =
@@ -184,14 +184,53 @@ let run_bechamel () =
            else Printf.sprintf "%.0f ns" ns
          in
          [ name; human ])
-       rows)
+       rows);
+  rows
+
+(* Machine-readable benchmark trajectory: per-kernel ns/op from Bechamel plus
+   the wall time of one full serial reproduction sweep, as sorted-key JSON.
+   CI uploads this as an artifact so per-PR regressions are visible. *)
+let write_json ~path ~sweep_wall_s ~jobs rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{";
+  Buffer.add_string buf (Printf.sprintf {|"jobs":%d,"kernels_ns":{|} jobs);
+  List.iteri
+    (fun i (name, ns) ->
+      if i > 0 then Buffer.add_char buf ',';
+      if Float.is_nan ns then
+        Buffer.add_string buf (Printf.sprintf {|"%s":null|} name)
+      else Buffer.add_string buf (Printf.sprintf {|"%s":%.1f|} name ns))
+    (List.sort compare rows);
+  Buffer.add_string buf
+    (Printf.sprintf {|},"sweep_wall_s":%.3f}|} sweep_wall_s);
+  Buffer.add_char buf '\n';
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s (sweep %.2fs)\n" path sweep_wall_s
 
 let () =
+  let json_path = ref "BENCH_PR2.json" in
+  let smoke = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+      json_path := path;
+      parse rest
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
+    | arg :: _ -> invalid_arg ("bench: unknown argument " ^ arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   print_endline "=== PathExpander: full reproduction of the evaluation ===";
-  (* Fan the reproduction across a domain pool when the host has spare cores;
-     output order (and bytes) match a serial run. Bechamel timing stays
-     serial so the numbers are not polluted by sibling domains. *)
-  let jobs = Pool.default_jobs () in
-  Exp_common.set_jobs jobs;
-  Runner.run_all ~jobs ();
-  run_bechamel ()
+  (* The whole bench runs serial — including nested fan-out inside
+     experiments — so the sweep wall time in the JSON measures single-core
+     simulator throughput and is comparable across hosts, and Bechamel
+     timing is not polluted by sibling domains. *)
+  Exp_common.set_jobs 1;
+  let t0 = Unix.gettimeofday () in
+  Runner.run_all ~jobs:1 ();
+  let sweep_wall_s = Unix.gettimeofday () -. t0 in
+  let rows = run_bechamel ~quota:(if !smoke then 0.1 else 0.4) () in
+  write_json ~path:!json_path ~sweep_wall_s ~jobs:1 rows

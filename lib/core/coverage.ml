@@ -1,21 +1,20 @@
 (* Branch-coverage accounting over the user branch universe. An edge is a
    (branch pc, direction) pair; the universe is fixed by the compiled
-   program. Taken-path coverage is what the baseline monitored run achieves;
+   program.  Taken-path coverage is what the baseline monitored run achieves;
    NT-Path coverage is the additional code PathExpander lets the detector
-   see. *)
+   see.
 
-module Edge = struct
-  type t = int * bool
-
-  let compare = compare
-end
-
-module Edge_set = Set.Make (Edge)
+   Everything is dense and mutable: the universe is a byte per pc, an edge
+   set is a byte per (pc, direction) at index [2*pc + dir]. Recording an
+   edge — once per executed branch, taken path and NT-Paths alike — is two
+   array reads and a store, with none of the hashing or balanced-tree
+   rebuilding of the persistent-set representation this replaces. *)
 
 type t = {
-  universe : (int, unit) Hashtbl.t;
-  mutable taken : Edge_set.t;
-  mutable nt : Edge_set.t;
+  ubits : Bytes.t;  (* per pc: is this a user conditional branch *)
+  branch_universe : int;  (* number of user branches *)
+  taken : Bytes.t;  (* per edge (2*pc + dir): seen on the taken path *)
+  nt : Bytes.t;  (* per edge: seen inside an NT-Path *)
   (* statement (source-line) coverage: [line_of.(pc)] is the user source
      line of the instruction at [pc], or 0 for runtime code *)
   line_of : int array;
@@ -25,11 +24,14 @@ type t = {
 }
 
 let create program =
-  let universe = Hashtbl.create 256 in
-  List.iter
-    (fun pc -> Hashtbl.replace universe pc ())
-    program.Program.user_branches;
   let n = Array.length program.Program.code in
+  let ubits = Bytes.make n '\000' in
+  List.iter
+    (fun pc -> if pc >= 0 && pc < n then Bytes.set ubits pc '\001')
+    program.Program.user_branches;
+  let branch_universe =
+    Bytes.fold_left (fun acc c -> if c = '\001' then acc + 1 else acc) 0 ubits
+  in
   let line_of = Array.make n 0 in
   List.iter
     (fun (lo, hi) ->
@@ -41,22 +43,29 @@ let create program =
   let distinct = Hashtbl.create 256 in
   Array.iter (fun l -> if l > 0 then Hashtbl.replace distinct l ()) line_of;
   {
-    universe;
-    taken = Edge_set.empty;
-    nt = Edge_set.empty;
+    ubits;
+    branch_universe;
+    taken = Bytes.make (2 * n) '\000';
+    nt = Bytes.make (2 * n) '\000';
     line_of;
     line_taken = Bytes.make (max_line + 1) '\000';
     line_nt = Bytes.make (max_line + 1) '\000';
     line_universe = Hashtbl.length distinct;
   }
 
-let in_universe cov pc = Hashtbl.mem cov.universe pc
+let in_universe cov pc =
+  pc >= 0 && pc < Bytes.length cov.ubits && Bytes.unsafe_get cov.ubits pc = '\001'
 
+let edge_index pc direction = (2 * pc) + if direction then 1 else 0
+
+(* Called once per executed conditional branch — the hot recording path. *)
 let record_taken cov pc direction =
-  if in_universe cov pc then cov.taken <- Edge_set.add (pc, direction) cov.taken
+  if in_universe cov pc then
+    Bytes.unsafe_set cov.taken (edge_index pc direction) '\001'
 
 let record_nt cov pc direction =
-  if in_universe cov pc then cov.nt <- Edge_set.add (pc, direction) cov.nt
+  if in_universe cov pc then
+    Bytes.unsafe_set cov.nt (edge_index pc direction) '\001'
 
 (* Statement coverage: called once per retired instruction. *)
 let record_pc_taken cov pc =
@@ -84,11 +93,17 @@ let stmt_combined_pct cov =
   done;
   Stats.pct ~num:!combined ~den:cov.line_universe
 
-let edge_universe_size cov = 2 * Hashtbl.length cov.universe
+let edge_universe_size cov = 2 * cov.branch_universe
 
-let taken_edges cov = Edge_set.cardinal cov.taken
+let taken_edges cov = count_lines cov.taken
 
-let combined_edges cov = Edge_set.cardinal (Edge_set.union cov.taken cov.nt)
+let combined_edges cov =
+  let combined = ref 0 in
+  for i = 0 to Bytes.length cov.taken - 1 do
+    if Bytes.get cov.taken i = '\001' || Bytes.get cov.nt i = '\001' then
+      incr combined
+  done;
+  !combined
 
 let taken_pct cov =
   Stats.pct ~num:(taken_edges cov) ~den:(edge_universe_size cov)
@@ -96,13 +111,16 @@ let taken_pct cov =
 let combined_pct cov =
   Stats.pct ~num:(combined_edges cov) ~den:(edge_universe_size cov)
 
+let union_into dst src =
+  let n = min (Bytes.length dst) (Bytes.length src) in
+  for i = 0 to n - 1 do
+    if Bytes.get src i = '\001' then Bytes.set dst i '\001'
+  done
+
 (* Accumulate [src] into [dst] (cumulative coverage across inputs). Both must
    come from the same compiled program. *)
 let merge_into ~dst src =
-  dst.taken <- Edge_set.union dst.taken src.taken;
-  dst.nt <- Edge_set.union dst.nt src.nt;
-  let n = min (Bytes.length dst.line_taken) (Bytes.length src.line_taken) in
-  for i = 0 to n - 1 do
-    if Bytes.get src.line_taken i = '\001' then Bytes.set dst.line_taken i '\001';
-    if Bytes.get src.line_nt i = '\001' then Bytes.set dst.line_nt i '\001'
-  done
+  union_into dst.taken src.taken;
+  union_into dst.nt src.nt;
+  union_into dst.line_taken src.line_taken;
+  union_into dst.line_nt src.line_nt

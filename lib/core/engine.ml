@@ -44,6 +44,43 @@ type cmp_state = {
   mutable active_finish : int list;  (* finish times of outstanding NT-Paths *)
 }
 
+(* Fixed 8-slot ring of recently observed condition-variable values
+   (profiled fixing). Newest-first, insert-if-absent with no reordering on
+   re-observation, oldest evicted when full — the exact semantics of the
+   bounded history list it replaces, without the per-observation
+   [List.mem]/[List.length]/[List.filteri] walks and list allocation. *)
+module Vring = struct
+  let capacity = 8  (* power of two: index arithmetic is a mask *)
+
+  type t = { slots : int array; mutable len : int; mutable head : int }
+
+  let create () = { slots = Array.make capacity 0; len = 0; head = 0 }
+
+  let mem t v =
+    let rec go i =
+      i < t.len
+      && (t.slots.((t.head + i) land (capacity - 1)) = v || go (i + 1))
+    in
+    go 0
+
+  let add_if_absent t v =
+    if not (mem t v) then begin
+      t.head <- (t.head + capacity - 1) land (capacity - 1);
+      t.slots.(t.head) <- v;
+      if t.len < capacity then t.len <- t.len + 1
+    end
+
+  (* First (most recently observed) value satisfying [f]. *)
+  let find_newest t f =
+    let rec go i =
+      if i >= t.len then None
+      else
+        let v = t.slots.((t.head + i) land (capacity - 1)) in
+        if f v then Some v else go (i + 1)
+    in
+    go 0
+end
+
 let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
   let mconfig = machine.Machine.config in
   let program = machine.Machine.program in
@@ -76,7 +113,7 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
     List.iter
       (fun (br_pc, atom) -> Hashtbl.replace atom_map br_pc atom)
       program.Program.fix_atoms;
-  let value_history : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let value_history : (int, Vring.t) Hashtbl.t = Hashtbl.create 64 in
   let home_addr home =
     match home with
     | Fix_atom.Hglobal addr -> addr
@@ -99,12 +136,11 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
            match Hashtbl.find_opt value_history br_pc with
            | Some r -> r
            | None ->
-             let r = ref [] in
+             let r = Vring.create () in
              Hashtbl.replace value_history br_pc r;
              r
          in
-         if not (List.mem v !ring) then
-           ring := v :: (if List.length !ring >= 8 then List.filteri (fun i _ -> i < 7) !ring else !ring))
+         Vring.add_if_absent ring v)
   in
   let profiled_override ~br_pc ~forced_direction =
     match Hashtbl.find_opt atom_map br_pc with
@@ -119,7 +155,7 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
       (match (rhs, Hashtbl.find_opt value_history br_pc) with
        | Some rhs_value, Some ring ->
          (match
-            List.find_opt (fun v -> Insn.eval_cmp cmp v rhs_value) !ring
+            Vring.find_newest ring (fun v -> Insn.eval_cmp cmp v rhs_value)
           with
           | Some v -> Some (home_addr atom.Fix_atom.var, v)
           | None -> None)
@@ -154,11 +190,21 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
     end;
     id
   in
+  (* One pooled context + sandbox recycled across every spawn of this run. *)
+  let nt_arena = Nt_path.make_arena machine ~l1:ctx.Context.l1 in
+  let nt_insns = ref 0 in
+  (* NT-Path phase time is derived at run end from the instruction split
+     (see the telemetry block below) rather than measured per spawn: a
+     [Telemetry.span] here cost two [Unix.gettimeofday] calls per NT-Path,
+     which for short paths rivalled the path's own execution time. *)
   let run_nt_path ?fix_override ~l1 ~entry ~br_pc ~forced_direction () =
-    Telemetry.span tel "phase.nt_path" (fun () ->
-        Nt_path.run ?fix_override machine config coverage ~l1
-          ~regs:ctx.Context.regs ~entry ~spawn_br_pc:br_pc ~forced_direction
-          ~path_id:(fresh_path_id ()))
+    let record =
+      Nt_path.run ?fix_override machine config coverage ~arena:nt_arena ~l1
+        ~regs:ctx.Context.regs ~entry ~spawn_br_pc:br_pc ~forced_direction
+        ~path_id:(fresh_path_id ())
+    in
+    nt_insns := !nt_insns + record.Nt_path.insns;
+    record
   in
   let spawn_standard ~entry ~br_pc ~forced_direction =
     incr spawns;
@@ -224,12 +270,9 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
         || random_spawn ()
       then begin
         Btb.exercise machine.Machine.btb br_pc ~taken:(not taken);
-        let code = program.Program.code in
-        let entry =
-          match code.(br_pc) with
-          | Insn.Br (_, _, _, target) -> if taken then br_pc + 1 else target
-          | _ -> assert false
-        in
+        (* The interpreter left the branch's taken-target in the context's
+           scratch fields; the non-taken edge is the one to force. *)
+        let entry = if taken then br_pc + 1 else ctx.Context.br_target in
         match config.Pe_config.mode with
         | Pe_config.Standard ->
           spawn_standard ~entry ~br_pc ~forced_direction:(not taken)
@@ -256,8 +299,8 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
       Coverage.record_pc_taken coverage ctx.Context.pc;
       match Cpu.step machine ctx with
       | Cpu.Ev_normal | Cpu.Ev_syscall _ -> loop ()
-      | Cpu.Ev_branch { br_pc; taken; target = _; fallthrough = _ } ->
-        handle_branch ~br_pc ~taken;
+      | Cpu.Ev_branch ->
+        handle_branch ~br_pc:ctx.Context.br_pc ~taken:ctx.Context.br_taken;
         loop ()
       | Cpu.Ev_exit status -> `Exited status
       | Cpu.Ev_halt -> `Halted
@@ -295,9 +338,15 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
         Cache.record_telemetry l1 tel ~prefix:(Printf.sprintf "l1.core%d" (i + 1)))
       (Lazy.force cmp_l1s);
   Btb.record_telemetry machine.Machine.btb tel ~prefix:"btb";
+  (* Phase split, derived once per run instead of clocked twice per spawn:
+     apportion the measured wall time by retired-instruction share. *)
+  let run_wall = Telemetry.timer_total tel "engine.run" in
+  let total_insns = ctx.Context.stats.Context.insns + !nt_insns in
+  if !nt_insns > 0 && total_insns > 0 then
+    Telemetry.timer_record tel "phase.nt_path"
+      (run_wall *. float_of_int !nt_insns /. float_of_int total_insns);
   Telemetry.gauge tel "phase.taken_s"
-    (Telemetry.timer_total tel "engine.run"
-    -. Telemetry.timer_total tel "phase.nt_path");
+    (run_wall -. Telemetry.timer_total tel "phase.nt_path");
   Telemetry.submit tel;
   {
     outcome;

@@ -33,6 +33,21 @@ let is_unsafe record =
   | T_unsafe _ -> true
   | T_max_length | T_crash _ | T_program_end | T_cache_overflow -> false
 
+(* Pooled spawn state: one context and one overlay sandbox, recycled across
+   every NT-Path an engine run spawns. A spawn is then a register blit plus
+   O(1) resets instead of a context, two tables and a journal allocated and
+   thrown away per path. *)
+type arena = { ctx : Context.t; sandbox : Context.sandbox }
+
+let make_arena machine ~l1 =
+  {
+    ctx = Context.create ~l1 ~pc:0 ~sp:0;
+    sandbox =
+      Context.make_sandbox ~path_id:Cache.committed_owner
+        ~line_limit:(Machine_config.l1_lines machine.Machine.config)
+        ~words_per_line:(Machine_config.words_per_line machine.Machine.config);
+  }
+
 (* Execute one NT-Path to termination.
 
    The context is a copy of the spawning core's registers redirected to
@@ -46,15 +61,13 @@ let is_unsafe record =
    Inner branches follow the actual condition; with
    [follow_nontaken_in_nt] (the Section 4.2 ablation) a cold non-taken edge
    is forced instead, without any consistency fix. *)
-let run ?fix_override machine (config : Pe_config.t) coverage ~l1 ~regs ~entry
-    ~spawn_br_pc ~forced_direction ~path_id =
-  let ctx = Context.create ~l1 ~pc:entry ~sp:0 in
+let run ?fix_override machine (config : Pe_config.t) coverage ~arena ~l1 ~regs
+    ~entry ~spawn_br_pc ~forced_direction ~path_id =
+  let ctx = arena.ctx in
+  Context.reset_for_spawn ctx ~l1 ~pc:entry;
   Array.blit regs 0 ctx.Context.regs 0 Reg.count;
-  let sandbox =
-    Context.make_sandbox ~path_id
-      ~line_limit:(Machine_config.l1_lines machine.Machine.config)
-      ~words_per_line:(Machine_config.words_per_line machine.Machine.config)
-  in
+  let sandbox = arena.sandbox in
+  Context.reset_sandbox sandbox ~path_id;
   Context.enter_sandbox ctx sandbox;
   (* Profiled fixing supplies a historically observed value directly into
      the sandbox and suppresses the boundary stubs; otherwise the stubs run
@@ -88,14 +101,17 @@ let run ?fix_override machine (config : Pe_config.t) coverage ~l1 ~regs ~entry
       Coverage.record_pc_nt coverage ctx.Context.pc;
       match Cpu.step machine ctx with
       | Cpu.Ev_normal -> loop ()
-      | Cpu.Ev_branch { br_pc; taken; target; fallthrough } ->
+      | Cpu.Ev_branch ->
+        let br_pc = ctx.Context.br_pc in
+        let taken = ctx.Context.br_taken in
         let followed =
           if config.Pe_config.follow_nontaken_in_nt then begin
             (* Ablation: force the cold non-taken edge instead. *)
             let taken_count, nontaken_count = Btb.counts machine.Machine.btb br_pc in
             let forced_count = if taken then nontaken_count else taken_count in
             if forced_count < config.Pe_config.nt_counter_threshold then begin
-              ctx.Context.pc <- (if taken then fallthrough else target);
+              ctx.Context.pc <-
+                (if taken then br_pc + 1 else ctx.Context.br_target);
               not taken
             end
             else taken

@@ -31,6 +31,13 @@ val termination_name : termination -> string
 val is_crash : record -> bool
 val is_unsafe : record -> bool
 
+(** Pooled spawn state — a context and an overlay sandbox recycled across
+    every NT-Path of an engine run, so a spawn allocates nothing. *)
+type arena
+
+(** One arena for a machine's geometry; the L1 is retargeted per spawn. *)
+val make_arena : Machine.t -> l1:Cache.t -> arena
+
 (** Execute one NT-Path to termination. [regs] is the spawning core's
     register file (copied, never mutated); [l1] the cache the path runs
     against (the primary core's in the standard configuration, an idle
@@ -44,6 +51,7 @@ val run :
   Machine.t ->
   Pe_config.t ->
   Coverage.t ->
+  arena:arena ->
   l1:Cache.t ->
   regs:int array ->
   entry:int ->

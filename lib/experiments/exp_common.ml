@@ -39,6 +39,9 @@ let run_app ?(detector = Codegen.No_detector) ?(fixing = true) ?bug
        (Pe_config.mode_name config.Pe_config.mode)
        (match bug with Some b -> Printf.sprintf "/v%d" b | None -> ""));
   let result = Engine.run ~config machine in
+  (* The run is over; callers only consult reports/output/telemetry, so the
+     simulated address space can go back to the pool now. *)
+  Machine.release machine;
   { compiled; machine; result }
 
 (* Detectors that can see a bug of this kind, in presentation order. *)

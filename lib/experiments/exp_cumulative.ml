@@ -17,6 +17,7 @@ let cumulative ?(inputs = 50) ?(seed = 7) (workload : Workload.t) =
     in
     let machine = Machine.create ~input compiled.Compile.program in
     let result = Engine.run ~config:(Workload.pe_config workload) machine in
+    Machine.release machine;
     Coverage.merge_into ~dst:acc result.Engine.coverage;
     if List.mem i checkpoints then
       Hashtbl.replace at i (Coverage.taken_pct acc, Coverage.combined_pct acc)

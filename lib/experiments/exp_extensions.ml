@@ -115,12 +115,14 @@ let diduce_names (workload : Workload.t) ~bug ~mode =
   in
   Diduce.attach train machine;
   ignore (Engine.run ~config:Pe_config.baseline machine);
+  Machine.release machine;
   Diduce.start_monitoring train;
   let machine =
     Machine.create ~input:workload.Workload.default_input compiled.Compile.program
   in
   Diduce.attach train machine;
   ignore (Engine.run ~config:(Workload.pe_config ~mode workload) machine);
+  Machine.release machine;
   List.sort_uniq compare
     (List.map
        (fun v -> (v.Diduce.addr, v.Diduce.surprise))

@@ -1,17 +1,39 @@
 (* Set-associative LRU cache used for timing. Lines carry the owner path-ID
    version tag from the paper (0 = committed data; the standard
-   configuration's 1-bit Vtag is the special case of IDs {0,1}). *)
+   configuration's 1-bit Vtag is the special case of IDs {0,1}).
 
-type line = {
-  mutable tag : int;
-  mutable valid : bool;
-  mutable owner : int;
-  mutable lru : int;
-}
+   Line state is struct-of-arrays: four flat arrays indexed by
+   [set * assoc + way] instead of one record per line. A 1 MB L2 has 32k
+   lines — as records that is 32k heap blocks allocated per machine and a
+   pointer chase per probe; as flat arrays it is four allocations and
+   contiguous scans.
+
+   Squash and commit are O(lines the path touched), not O(cache): every
+   ownership acquisition journals the line index under its owner (the
+   hardware analogue is the gang-clear circuitry of Section 4.3, which
+   flash-clears the matching version tags in a handful of cycles — a
+   full-array sweep in the simulator charged that cost once per spawn). A
+   per-owner valid-line count keeps [owned_lines] O(1). The full-sweep
+   implementations survive in {!Reference} as the oracle for property
+   tests. *)
+
+(* Owner version tags are 8-bit in the paper (ids 1..255, 0 = committed);
+   the journal and counts track exactly that range, and any out-of-range
+   owner falls back to the reference sweep. *)
+let tracked_owners = 256
 
 type t = {
-  sets : line array array;
+  tags : int array;  (* per line: cached line address *)
+  valid : Bytes.t;  (* per line: '\001' when valid *)
+  owners : int array;  (* per line: version tag *)
+  lrus : int array;  (* per line: last-touch clock *)
+  nsets : int;
+  assoc : int;
   words_per_line : int;
+  line_shift : int;  (* log2 words_per_line, or -1 when not a power of two *)
+  set_mask : int;  (* nsets - 1 when a power of two, or -1 *)
+  owner_journal : int Vec.t array;  (* per owner: lines that took its tag *)
+  owner_count : int array;  (* per owner: valid lines currently tagged *)
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
@@ -19,46 +41,61 @@ type t = {
 
 let committed_owner = 0
 
+let log2_pow2 n =
+  let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
+  if n > 0 && n land (n - 1) = 0 then go n 0 else -1
+
 let create ~size_kb ~assoc ~line_bytes =
   let lines = size_kb * 1024 / line_bytes in
   if lines mod assoc <> 0 then invalid_arg "Cache.create: geometry";
   let nsets = lines / assoc in
-  let make_line () = { tag = 0; valid = false; owner = committed_owner; lru = 0 } in
+  let words_per_line = line_bytes / Machine_config.word_bytes in
   {
-    sets = Array.init nsets (fun _ -> Array.init assoc (fun _ -> make_line ()));
-    words_per_line = line_bytes / Machine_config.word_bytes;
+    tags = Array.make lines 0;
+    valid = Bytes.make lines '\000';
+    owners = Array.make lines committed_owner;
+    lrus = Array.make lines 0;
+    nsets;
+    assoc;
+    words_per_line;
+    line_shift = log2_pow2 words_per_line;
+    set_mask = (if log2_pow2 nsets >= 0 then nsets - 1 else -1);
+    owner_journal = Array.init tracked_owners (fun _ -> Vec.create ~dummy:0);
+    owner_count = Array.make tracked_owners 0;
     clock = 0;
     hits = 0;
     misses = 0;
   }
 
-let line_addr cache addr = addr / cache.words_per_line
+let line_addr cache addr =
+  if cache.line_shift >= 0 && addr >= 0 then addr lsr cache.line_shift
+  else addr / cache.words_per_line
 
-let set_of cache laddr =
-  let n = Array.length cache.sets in
-  cache.sets.(((laddr mod n) + n) mod n)
+let set_index cache laddr =
+  if cache.set_mask >= 0 && laddr >= 0 then laddr land cache.set_mask
+  else
+    let n = cache.nsets in
+    ((laddr mod n) + n) mod n
 
-let find_line cache laddr =
-  let set = set_of cache laddr in
-  let n = Array.length set in
-  let rec search i =
-    if i >= n then None
-    else
-      let line = set.(i) in
-      if line.valid && line.tag = laddr then Some line else search (i + 1)
-  in
-  search 0
+let line_valid cache i = Bytes.unsafe_get cache.valid i = '\001'
 
-(* Victim: least-recently-used slot, invalid slots first. *)
-let victim cache laddr =
-  let set = set_of cache laddr in
-  let best = ref set.(0) in
-  Array.iter
-    (fun line ->
-      if not line.valid then (if !best.valid then best := line)
-      else if !best.valid && line.lru < !best.lru then best := line)
-    set;
-  !best
+let tracked owner = owner >= 0 && owner < tracked_owners
+
+let count_incr cache owner =
+  if tracked owner then
+    cache.owner_count.(owner) <- cache.owner_count.(owner) + 1
+
+let count_decr cache owner =
+  if tracked owner then
+    cache.owner_count.(owner) <- cache.owner_count.(owner) - 1
+
+(* Journal line [i] under [owner]. Invariant: a valid line tagged with a
+   tracked speculative owner is always present in that owner's journal (the
+   journal may additionally hold stale entries — lines since evicted,
+   invalidated or re-tagged — which walks skip by re-checking ownership). *)
+let journal_acquire cache i owner =
+  if tracked owner && owner <> committed_owner then
+    Vec.push cache.owner_journal.(owner) i
 
 type outcome = Hit | Miss
 
@@ -70,82 +107,160 @@ type outcome = Hit | Miss
    path merely observed committed data, and retagging it would hand the
    committed line to the path's gang-invalidation at squash, destroying
    cached state the taken path still owns. *)
-let access ?(owner = committed_owner) ?(write = false) ?(allocate = true) cache
-    addr =
+let access_line cache addr ~owner ~write ~allocate =
   cache.clock <- cache.clock + 1;
   let laddr = line_addr cache addr in
-  match find_line cache laddr with
-  | Some line ->
-    line.lru <- cache.clock;
-    if write then line.owner <- owner;
+  let base = set_index cache laddr * cache.assoc in
+  let limit = base + cache.assoc in
+  let tags = cache.tags in
+  let rec find i =
+    if i >= limit then -1
+    else if line_valid cache i && Array.unsafe_get tags i = laddr then i
+    else find (i + 1)
+  in
+  let idx = find base in
+  if idx >= 0 then begin
+    Array.unsafe_set cache.lrus idx cache.clock;
+    if write && cache.owners.(idx) <> owner then begin
+      count_decr cache cache.owners.(idx);
+      count_incr cache owner;
+      cache.owners.(idx) <- owner;
+      journal_acquire cache idx owner
+    end;
     cache.hits <- cache.hits + 1;
     Hit
-  | None ->
+  end
+  else begin
     if allocate then begin
-      let line = victim cache laddr in
-      line.valid <- true;
-      line.tag <- laddr;
-      line.owner <- owner;
-      line.lru <- cache.clock
+      (* Victim: least-recently-used way, invalid ways first (and among
+         invalid ways the first one found). *)
+      let best = ref base in
+      for i = base + 1 to limit - 1 do
+        if line_valid cache !best then
+          if not (line_valid cache i) then best := i
+          else if
+            Array.unsafe_get cache.lrus i < Array.unsafe_get cache.lrus !best
+          then best := i
+      done;
+      let v = !best in
+      if line_valid cache v then count_decr cache cache.owners.(v);
+      let prev_owner = cache.owners.(v) in
+      Bytes.unsafe_set cache.valid v '\001';
+      cache.tags.(v) <- laddr;
+      cache.lrus.(v) <- cache.clock;
+      count_incr cache owner;
+      if prev_owner <> owner then begin
+        cache.owners.(v) <- owner;
+        journal_acquire cache v owner
+      end
     end;
     cache.misses <- cache.misses + 1;
     Miss
+  end
 
-(* Gang-invalidate every line owned by [owner] (NT-Path squash). The paper
-   performs this with custom circuitry in a handful of cycles; the cycle cost
-   is charged separately as the squash overhead. *)
-let gang_invalidate cache ~owner =
+let access ?(owner = committed_owner) ?(write = false) ?(allocate = true) cache
+    addr =
+  access_line cache addr ~owner ~write ~allocate
+
+(* Full-array sweeps: the reference implementations the indexed operations
+   must agree with. They keep the per-owner counts consistent, so mixing
+   sweep and indexed calls on one cache stays sound (sweeps may leave stale
+   journal entries behind; walks skip those by re-checking ownership). *)
+let line_count cache = cache.nsets * cache.assoc
+
+let sweep_gang_invalidate cache ~owner =
   let count = ref 0 in
-  Array.iter
-    (fun set ->
-      Array.iter
-        (fun line ->
-          if line.valid && line.owner = owner then begin
-            line.valid <- false;
-            line.owner <- committed_owner;
-            incr count
-          end)
-        set)
-    cache.sets;
+  for i = 0 to line_count cache - 1 do
+    if line_valid cache i && cache.owners.(i) = owner then begin
+      Bytes.unsafe_set cache.valid i '\000';
+      cache.owners.(i) <- committed_owner;
+      count_decr cache owner;
+      incr count
+    end
+  done;
   !count
+
+let sweep_commit_owner cache ~owner =
+  let count = ref 0 in
+  for i = 0 to line_count cache - 1 do
+    if line_valid cache i && cache.owners.(i) = owner then begin
+      cache.owners.(i) <- committed_owner;
+      count_decr cache owner;
+      count_incr cache committed_owner;
+      incr count
+    end
+  done;
+  !count
+
+let sweep_owned_lines cache ~owner =
+  let count = ref 0 in
+  for i = 0 to line_count cache - 1 do
+    if line_valid cache i && cache.owners.(i) = owner then incr count
+  done;
+  !count
+
+(* Gang-invalidate every line owned by [owner] (NT-Path squash): walk only
+   the owner's journal. The paper performs this with custom circuitry in a
+   handful of cycles; the cycle cost is charged separately as the squash
+   overhead. *)
+let gang_invalidate cache ~owner =
+  if tracked owner && owner <> committed_owner then begin
+    let vec = cache.owner_journal.(owner) in
+    let count = cache.owner_count.(owner) in
+    Vec.iteri
+      (fun _ i ->
+        if line_valid cache i && cache.owners.(i) = owner then begin
+          Bytes.unsafe_set cache.valid i '\000';
+          cache.owners.(i) <- committed_owner
+        end)
+      vec;
+    Vec.clear vec;
+    cache.owner_count.(owner) <- 0;
+    count
+  end
+  else sweep_gang_invalidate cache ~owner
 
 (* Lazily commit a path's lines: retag them as committed data. *)
 let commit_owner cache ~owner =
-  let count = ref 0 in
-  Array.iter
-    (fun set ->
-      Array.iter
-        (fun line ->
-          if line.valid && line.owner = owner then begin
-            line.owner <- committed_owner;
-            incr count
-          end)
-        set)
-    cache.sets;
-  !count
+  if tracked owner && owner <> committed_owner then begin
+    let vec = cache.owner_journal.(owner) in
+    let count = cache.owner_count.(owner) in
+    Vec.iteri
+      (fun _ i ->
+        if line_valid cache i && cache.owners.(i) = owner then begin
+          cache.owners.(i) <- committed_owner;
+          count_incr cache committed_owner
+        end)
+      vec;
+    Vec.clear vec;
+    cache.owner_count.(owner) <- 0;
+    count
+  end
+  else sweep_commit_owner cache ~owner
 
 let owned_lines cache ~owner =
-  let count = ref 0 in
-  Array.iter
-    (fun set ->
-      Array.iter
-        (fun line -> if line.valid && line.owner = owner then incr count)
-        set)
-    cache.sets;
-  !count
+  if tracked owner then cache.owner_count.(owner)
+  else sweep_owned_lines cache ~owner
+
+module Reference = struct
+  let gang_invalidate = sweep_gang_invalidate
+  let commit_owner = sweep_commit_owner
+  let owned_lines = sweep_owned_lines
+end
+
+let snapshot cache =
+  Array.init (line_count cache) (fun i ->
+      (cache.tags.(i), line_valid cache i, cache.owners.(i), cache.lrus.(i)))
 
 let hits cache = cache.hits
 let misses cache = cache.misses
 
 let valid_lines cache =
   let count = ref 0 in
-  Array.iter
-    (fun set -> Array.iter (fun line -> if line.valid then incr count) set)
-    cache.sets;
+  for i = 0 to line_count cache - 1 do
+    if line_valid cache i then incr count
+  done;
   !count
-
-let line_count cache =
-  Array.length cache.sets * Array.length cache.sets.(0)
 
 (* Report this cache's access statistics and occupancy into a telemetry
    sink, under [prefix] (e.g. "l1.primary", "l2"). *)
@@ -164,12 +279,8 @@ let reset_stats cache =
   cache.misses <- 0
 
 let clear cache =
-  Array.iter
-    (fun set ->
-      Array.iter
-        (fun line ->
-          line.valid <- false;
-          line.owner <- committed_owner)
-        set)
-    cache.sets;
+  Bytes.fill cache.valid 0 (line_count cache) '\000';
+  Array.fill cache.owners 0 (line_count cache) committed_owner;
+  Array.iter Vec.clear cache.owner_journal;
+  Array.fill cache.owner_count 0 tracked_owners 0;
   reset_stats cache

@@ -24,13 +24,36 @@ val create : size_kb:int -> assoc:int -> line_bytes:int -> t
     committed. *)
 val access : ?owner:int -> ?write:bool -> ?allocate:bool -> t -> int -> outcome
 
-(** Invalidate all lines version-tagged [owner]; returns how many. *)
+(** [access] with every argument explicit — the hot-path entry point:
+    optional arguments box their values ([Some owner]) on each call, which
+    at one-plus allocation per simulated load/store is measurable. *)
+val access_line :
+  t -> int -> owner:int -> write:bool -> allocate:bool -> outcome
+
+(** Invalidate all lines version-tagged [owner]; returns how many.
+    O(lines the owner touched since its last squash/commit) for 8-bit
+    owner ids, via a per-owner journal of ownership acquisitions. *)
 val gang_invalidate : t -> owner:int -> int
 
-(** Retag all lines of [owner] as committed; returns how many. *)
+(** Retag all lines of [owner] as committed; returns how many. Indexed like
+    {!gang_invalidate}. *)
 val commit_owner : t -> owner:int -> int
 
+(** Number of valid lines currently tagged [owner]; O(1) for 8-bit ids. *)
 val owned_lines : t -> owner:int -> int
+
+(** Full-array sweep implementations of the three owner operations: the
+    oracle the indexed versions must agree with (property-tested). Safe to
+    mix with the indexed operations on the same cache. *)
+module Reference : sig
+  val gang_invalidate : t -> owner:int -> int
+  val commit_owner : t -> owner:int -> int
+  val owned_lines : t -> owner:int -> int
+end
+
+(** Full visible line state, [(tag, valid, owner, lru)] in set/way order —
+    for test assertions of behavioural equivalence. *)
+val snapshot : t -> (int * bool * int * int) array
 
 val hits : t -> int
 val misses : t -> int

@@ -8,25 +8,109 @@ type stats = {
 
 let fresh_stats () = { insns = 0; cycles = 0; loads = 0; stores = 0; branches = 0 }
 
+(* Generation-stamped open-addressing int->int table: the overlay's flat
+   store. A slot is live iff its generation stamp equals the table's; reset
+   is a generation bump, so one table serves every NT-Path an arena runs.
+   Linear probing with a multiplicative hash; grows (rare — capacity is
+   sized from the L1 line limit, and overflow squashes the path first) when
+   more than half full so probes stay short. *)
+module Itab = struct
+  type t = {
+    mutable keys : int array;
+    mutable vals : int array;
+    mutable gens : int array;
+    mutable mask : int;
+    mutable gen : int;
+    mutable used : int;
+  }
+
+  let next_pow2 n =
+    let rec go k = if k >= n then k else go (2 * k) in
+    go 16
+
+  let create cap_hint =
+    let cap = next_pow2 (max 16 cap_hint) in
+    {
+      keys = Array.make cap 0;
+      vals = Array.make cap 0;
+      gens = Array.make cap 0;
+      mask = cap - 1;
+      gen = 1;
+      used = 0;
+    }
+
+  let reset t =
+    t.gen <- t.gen + 1;
+    t.used <- 0
+
+  let hash t key = (key * 0x9E3779B1) land t.mask
+
+  (* Slot index of [key], or -1. *)
+  let find t key =
+    let gens = t.gens and keys = t.keys and mask = t.mask and gen = t.gen in
+    let rec probe i =
+      if Array.unsafe_get gens i <> gen then -1
+      else if Array.unsafe_get keys i = key then i
+      else probe ((i + 1) land mask)
+    in
+    probe (hash t key)
+
+  let rec grow t =
+    let okeys = t.keys and ovals = t.vals and ogens = t.gens and ogen = t.gen in
+    let cap = 2 * (t.mask + 1) in
+    t.keys <- Array.make cap 0;
+    t.vals <- Array.make cap 0;
+    t.gens <- Array.make cap 0;
+    t.mask <- cap - 1;
+    t.gen <- 1;
+    t.used <- 0;
+    Array.iteri
+      (fun i g -> if g = ogen then ignore (set t okeys.(i) ovals.(i)))
+      ogens
+
+  (* Insert or overwrite; returns [true] when [key] was not yet present. *)
+  and set t key v =
+    if 2 * t.used > t.mask then grow t;
+    let rec probe i =
+      if t.gens.(i) <> t.gen then begin
+        t.gens.(i) <- t.gen;
+        t.keys.(i) <- key;
+        t.vals.(i) <- v;
+        t.used <- t.used + 1;
+        true
+      end
+      else if t.keys.(i) = key then begin
+        t.vals.(i) <- v;
+        false
+      end
+      else probe ((i + 1) land t.mask)
+    in
+    probe (hash t key)
+end
+
 (* Two sandboxing mechanisms:
    - [Overlay]: the hardware scheme — writes buffered in versioned L1 lines,
-     discarded at squash; bounded by the L1's line capacity.
+     discarded at squash; bounded by the L1's line capacity. The buffer is a
+     flat generation-stamped store plus a first-write journal (for commit
+     iteration), both sized from the line limit — no per-spawn allocation.
    - [Write_log]: the software scheme (PIN-based PathExpander) — writes go
      straight to memory while an undo log records the old values, replayed
      backwards at squash. Unbounded, but every write pays logging work. *)
 type sandbox_kind =
   | Overlay of {
-      overlay : (int, int) Hashtbl.t;
-      dirty_lines : (int, unit) Hashtbl.t;
+      store : Itab.t;  (* addr -> buffered value *)
+      lines : Itab.t;  (* dirty line index -> () ; [used] is the count *)
+      journal : int Vec.t;  (* distinct written addrs, first-write order *)
       line_limit : int;
       words_per_line : int;
+      line_shift : int;  (* log2 words_per_line, or -1 *)
     }
   | Write_log of { mutable log : (int * int) list; mutable log_size : int }
 
 type sandbox = {
   kind : sandbox_kind;
   mutable watch_journal : Watchpoints.journal_entry list;
-  path_id : int;
+  mutable path_id : int;
 }
 
 type t = {
@@ -38,7 +122,13 @@ type t = {
          its stores are PathExpander's, not the program's *)
   mutable sandbox : sandbox option;
   stats : stats;
-  l1 : Cache.t;
+  mutable l1 : Cache.t;
+  (* Scratch fields the interpreter fills when [Cpu.step] returns
+     [Ev_branch], so the per-branch event carries no allocation; the
+     fallthrough is always [br_pc + 1]. *)
+  mutable br_pc : int;
+  mutable br_taken : bool;
+  mutable br_target : int;
 }
 
 type checkpoint = { saved_regs : int array; saved_pc : int; saved_pred : bool }
@@ -55,7 +145,26 @@ let create ~l1 ~pc ~sp =
     sandbox = None;
     stats = fresh_stats ();
     l1;
+    br_pc = 0;
+    br_taken = false;
+    br_target = 0;
   }
+
+(* Re-aim a pooled context at a fresh spawn: zero statistics, clear the
+   predicate machinery, detach any sandbox and retarget the L1. The caller
+   still blits the spawning core's registers. *)
+let reset_for_spawn ctx ~l1 ~pc =
+  ctx.pc <- pc;
+  ctx.pred <- false;
+  ctx.in_pred_fix <- false;
+  ctx.sandbox <- None;
+  ctx.l1 <- l1;
+  let s = ctx.stats in
+  s.insns <- 0;
+  s.cycles <- 0;
+  s.loads <- 0;
+  s.stores <- 0;
+  s.branches <- 0
 
 let get_reg ctx r = if r = Reg.zero then 0 else ctx.regs.(r)
 
@@ -69,15 +178,24 @@ let restore ctx cp =
   ctx.pc <- cp.saved_pc;
   ctx.pred <- cp.saved_pred
 
+let log2_pow2 n =
+  let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
+  if n > 0 && n land (n - 1) = 0 then go n 0 else -1
+
 let make_sandbox ~path_id ~line_limit ~words_per_line =
+  (* A path squashes as soon as it dirties line_limit + 1 lines, so the
+     store never holds more than (line_limit + 1) * words_per_line words;
+     double that for an at-most-half-full table. *)
   {
     kind =
       Overlay
         {
-          overlay = Hashtbl.create 64;
-          dirty_lines = Hashtbl.create 16;
+          store = Itab.create (2 * (line_limit + 2) * words_per_line);
+          lines = Itab.create (2 * (line_limit + 2));
+          journal = Vec.create ~dummy:0;
           line_limit;
           words_per_line;
+          line_shift = log2_pow2 words_per_line;
         };
     path_id;
     watch_journal = [];
@@ -86,22 +204,37 @@ let make_sandbox ~path_id ~line_limit ~words_per_line =
 let make_write_log_sandbox ~path_id =
   { kind = Write_log { log = []; log_size = 0 }; path_id; watch_journal = [] }
 
+(* Recycle a sandbox for the next spawn: O(1) for overlays (generation
+   bump), so pooling beats per-spawn allocation. *)
+let reset_sandbox sandbox ~path_id =
+  sandbox.path_id <- path_id;
+  sandbox.watch_journal <- [];
+  match sandbox.kind with
+  | Overlay o ->
+    Itab.reset o.store;
+    Itab.reset o.lines;
+    Vec.clear o.journal
+  | Write_log wl ->
+    wl.log <- [];
+    wl.log_size <- 0
+
 let enter_sandbox ctx sandbox = ctx.sandbox <- Some sandbox
 
 let exit_sandbox ctx = ctx.sandbox <- None
 
-let is_sandboxed ctx = ctx.sandbox <> None
+let is_sandboxed ctx = match ctx.sandbox with Some _ -> true | None -> false
 
 let path_id ctx =
   match ctx.sandbox with Some sb -> sb.path_id | None -> Cache.committed_owner
+
+let sandbox_path_id sandbox = sandbox.path_id
 
 (* A sandboxed read sees the path's own buffered version first. *)
 let sandbox_read sandbox mem addr =
   match sandbox.kind with
   | Overlay o ->
-    (match Hashtbl.find_opt o.overlay addr with
-     | Some v -> v
-     | None -> Memory.read mem addr)
+    let i = Itab.find o.store addr in
+    if i >= 0 then Array.unsafe_get o.store.Itab.vals i else Memory.read mem addr
   | Write_log _ -> Memory.read mem addr
 
 (* A sandboxed write; returns [false] when an overlay write pushed the path
@@ -110,11 +243,13 @@ let sandbox_write sandbox mem addr v =
   match sandbox.kind with
   | Overlay o ->
     Memory.check mem addr;
-    Hashtbl.replace o.overlay addr v;
-    let line = addr / o.words_per_line in
-    if not (Hashtbl.mem o.dirty_lines line) then
-      Hashtbl.replace o.dirty_lines line ();
-    Hashtbl.length o.dirty_lines <= o.line_limit
+    if Itab.set o.store addr v then Vec.push o.journal addr;
+    let line =
+      if o.line_shift >= 0 && addr >= 0 then addr lsr o.line_shift
+      else addr / o.words_per_line
+    in
+    ignore (Itab.set o.lines line 0);
+    o.lines.Itab.used <= o.line_limit
   | Write_log wl ->
     let old = Memory.read mem addr in
     wl.log <- (addr, old) :: wl.log;
@@ -129,7 +264,7 @@ let read_mem ctx mem addr =
 
 let dirty_line_count sandbox =
   match sandbox.kind with
-  | Overlay o -> Hashtbl.length o.dirty_lines
+  | Overlay o -> o.lines.Itab.used
   | Write_log _ -> 0
 
 let write_log_size sandbox =
@@ -150,7 +285,12 @@ let rollback_write_log sandbox mem =
    taken-path segments in the CMP engine; NT-Paths are always discarded). *)
 let commit_sandbox sandbox mem =
   match sandbox.kind with
-  | Overlay o -> Hashtbl.iter (fun addr v -> Memory.write mem addr v) o.overlay
+  | Overlay o ->
+    Vec.iteri
+      (fun _ addr ->
+        let i = Itab.find o.store addr in
+        if i >= 0 then Memory.write mem addr o.store.Itab.vals.(i))
+      o.journal
   | Write_log _ -> ()
 
 let journal_watch sandbox entry =

@@ -3,10 +3,12 @@
     the sandbox that buffers memory writes (the semantic model of the
     paper's versioned L1 buffering).
 
-    The sandbox stores written words in an overlay keyed by address and
-    tracks how many distinct cache lines the path has dirtied; exceeding the
-    L1's line capacity means the hardware could no longer buffer the path
-    and forces a squash. *)
+    The sandbox stores written words in a flat generation-stamped overlay
+    keyed by address and tracks how many distinct cache lines the path has
+    dirtied; exceeding the L1's line capacity means the hardware could no
+    longer buffer the path and forces a squash. Contexts and sandboxes are
+    designed for pooling: {!reset_for_spawn} and {!reset_sandbox} recycle
+    them across spawns without allocation. *)
 
 type stats = {
   mutable insns : int;
@@ -30,7 +32,12 @@ type t = {
           the program's *)
   mutable sandbox : sandbox option;
   stats : stats;
-  l1 : Cache.t;
+  mutable l1 : Cache.t;
+  mutable br_pc : int;
+      (** scratch: pc of the branch behind the latest [Cpu.Ev_branch] *)
+  mutable br_taken : bool;  (** scratch: was that branch taken *)
+  mutable br_target : int;
+      (** scratch: its taken-side target (fallthrough is [br_pc + 1]) *)
 }
 
 (** Architectural register/pc/predicate snapshot. *)
@@ -38,6 +45,11 @@ type checkpoint
 
 (** Fresh context with [sp = fp = sp] and zeroed registers. *)
 val create : l1:Cache.t -> pc:int -> sp:int -> t
+
+(** Re-aim a pooled context at a new spawn: zero the statistics, clear the
+    predicate machinery, detach any sandbox and retarget the L1. The caller
+    remains responsible for seeding the register file. *)
+val reset_for_spawn : t -> l1:Cache.t -> pc:int -> unit
 
 (** Reads of [Reg.zero] always give 0. *)
 val get_reg : t -> Reg.t -> int
@@ -48,12 +60,16 @@ val set_reg : t -> Reg.t -> int -> unit
 val checkpoint : t -> checkpoint
 val restore : t -> checkpoint -> unit
 
-(** Hardware-style overlay sandbox (versioned-L1 buffering). *)
+(** Hardware-style overlay sandbox (versioned-L1 buffering). The overlay is
+    a flat store sized from [line_limit] — reusable via {!reset_sandbox}. *)
 val make_sandbox : path_id:int -> line_limit:int -> words_per_line:int -> sandbox
 
 (** Software-style restore-log sandbox: writes go straight to memory and an
     undo log records old values (the PIN-based implementation's scheme). *)
 val make_write_log_sandbox : path_id:int -> sandbox
+
+(** Recycle a sandbox for the next spawn — O(1) for overlays. *)
+val reset_sandbox : sandbox -> path_id:int -> unit
 
 val enter_sandbox : t -> sandbox -> unit
 val exit_sandbox : t -> unit
@@ -63,8 +79,16 @@ val is_sandboxed : t -> bool
     ([Cache.committed_owner] when not sandboxed). *)
 val path_id : t -> int
 
+(** The sandbox's own path id — for callers that already matched on
+    [ctx.sandbox] and hold the payload. *)
+val sandbox_path_id : sandbox -> int
+
 (** Read through the sandbox overlay when present. *)
 val read_mem : t -> Memory.t -> int -> int
+
+(** Read through a sandbox directly: the path's own buffered version first,
+    falling back to committed memory. *)
+val sandbox_read : sandbox -> Memory.t -> int -> int
 
 (** Buffer a write; [false] when the path overflowed its L1 capacity.
     Raises [Memory.Fault] on an inaccessible address. *)

@@ -3,9 +3,13 @@ type fault =
   | Div_by_zero
   | Bad_pc of int
 
+(* [Ev_branch] carries no payload: the interpreter deposits the branch's pc,
+   direction and taken-target in the context's [br_pc]/[br_taken]/[br_target]
+   scratch fields (fallthrough is always [br_pc + 1]), so the per-branch
+   event — by far the hottest non-trivial one — allocates nothing. *)
 type event =
   | Ev_normal
-  | Ev_branch of { br_pc : int; taken : bool; target : int; fallthrough : int }
+  | Ev_branch
   | Ev_syscall of Insn.sys
   | Ev_exit of int
   | Ev_halt
@@ -35,40 +39,56 @@ let check_watch machine ctx ~is_write addr =
 
 let data_read machine ctx addr =
   (* validity first: a faulting access never reaches the cache or watch unit *)
-  Memory.check machine.Machine.mem addr;
+  let mem = machine.Machine.mem in
+  Memory.check mem addr;
   check_watch machine ctx ~is_write:false addr;
   let stats = ctx.Context.stats in
   stats.Context.loads <- stats.Context.loads + 1;
-  (* the path id rides along so a sandboxed read *fill* takes speculative
-     ownership (the line dies with the path, no prefetching for the taken
-     path); a read *hit* never retags — see [Cache.access] *)
-  stats.Context.cycles <-
-    stats.Context.cycles
-    + Machine.access_latency machine ctx.Context.l1
-        ~owner:(Context.path_id ctx) ~write:false
-        ~speculative:(Context.is_sandboxed ctx) addr;
-  Context.read_mem ctx machine.Machine.mem addr
+  (* one match covers owner, speculation and the read itself; the path id
+     rides along so a sandboxed read *fill* takes speculative ownership (the
+     line dies with the path, no prefetching for the taken path); a read
+     *hit* never retags — see [Cache.access] *)
+  match ctx.Context.sandbox with
+  | None ->
+    stats.Context.cycles <-
+      stats.Context.cycles
+      + Machine.access_latency machine ctx.Context.l1
+          ~owner:Cache.committed_owner ~write:false ~speculative:false addr;
+    (* checked above *)
+    Array.unsafe_get mem.Memory.words addr
+  | Some sb ->
+    stats.Context.cycles <-
+      stats.Context.cycles
+      + Machine.access_latency machine ctx.Context.l1
+          ~owner:(Context.sandbox_path_id sb) ~write:false ~speculative:true
+          addr;
+    Context.sandbox_read sb mem addr
 
 (* Raises [Overflow] when a sandboxed path dirties more lines than L1 can
    buffer. *)
 let data_write machine ctx addr value =
-  Memory.check machine.Machine.mem addr;
+  let mem = machine.Machine.mem in
+  Memory.check mem addr;
   check_watch machine ctx ~is_write:true addr;
   (match machine.Machine.store_hook with
    | Some hook -> hook ctx addr value
    | None -> ());
   let stats = ctx.Context.stats in
   stats.Context.stores <- stats.Context.stores + 1;
-  stats.Context.cycles <-
-    stats.Context.cycles
-    + Machine.access_latency machine ctx.Context.l1
-        ~owner:(Context.path_id ctx) ~write:true
-        ~speculative:(Context.is_sandboxed ctx) addr;
   match ctx.Context.sandbox with
+  | None ->
+    stats.Context.cycles <-
+      stats.Context.cycles
+      + Machine.access_latency machine ctx.Context.l1
+          ~owner:Cache.committed_owner ~write:true ~speculative:false addr;
+    Memory.write mem addr value
   | Some sb ->
-    if not (Context.sandbox_write sb machine.Machine.mem addr value) then
-      raise Overflow
-  | None -> Memory.write machine.Machine.mem addr value
+    stats.Context.cycles <-
+      stats.Context.cycles
+      + Machine.access_latency machine ctx.Context.l1
+          ~owner:(Context.sandbox_path_id sb) ~write:true ~speculative:true
+          addr;
+    if not (Context.sandbox_write sb mem addr value) then raise Overflow
 
 let push machine ctx value =
   let sp = Context.get_reg ctx Reg.sp - 1 in
@@ -102,107 +122,140 @@ let do_syscall machine ctx sys =
    returns the event the engine must dispatch on. For a sandboxed context, a
    syscall is reported *without* being executed (unsafe event: the engine
    squashes the path), and faults are reported rather than raised (the
-   exception is swallowed by the hardware, as in the paper). *)
-let step machine ctx =
-  let code = machine.Machine.program.Program.code in
-  let pc = ctx.Context.pc in
-  if pc < 0 || pc >= Array.length code then Ev_fault (Bad_pc pc)
-  else begin
-    let stats = ctx.Context.stats in
-    stats.Context.insns <- stats.Context.insns + 1;
-    stats.Context.cycles <- stats.Context.cycles + 1;
-    machine.Machine.insn_index <- machine.Machine.insn_index + 1;
-    let rec exec insn =
-      match insn with
-      | Insn.Binop (op, rd, rs, rt) ->
-        (match
-           Insn.eval_binop op (Context.get_reg ctx rs) (Context.get_reg ctx rt)
-         with
-         | Some v ->
-           Context.set_reg ctx rd v;
-           ctx.Context.pc <- pc + 1;
-           Ev_normal
-         | None -> Ev_fault Div_by_zero)
-      | Insn.Binopi (op, rd, rs, imm) ->
-        (match Insn.eval_binop op (Context.get_reg ctx rs) imm with
-         | Some v ->
-           Context.set_reg ctx rd v;
-           ctx.Context.pc <- pc + 1;
-           Ev_normal
-         | None -> Ev_fault Div_by_zero)
-      | Insn.Cmp (c, rd, rs, rt) ->
-        let v =
-          if Insn.eval_cmp c (Context.get_reg ctx rs) (Context.get_reg ctx rt)
-          then 1
-          else 0
-        in
-        Context.set_reg ctx rd v;
+   exception is swallowed by the hardware, as in the paper).
+
+   Dispatch is over the machine's pre-decoded execution form ([Decode.t]),
+   not raw [Insn.t]: register indices are plain ints, Div/Mod are split out
+   so the ALU fast path neither faults nor allocates. Register reads go
+   straight to the array — [Reg.zero]'s slot is never written (see
+   [Context.set_reg] and the [rd <> 0] guards below), so it always reads 0. *)
+let rec exec machine ctx pc d =
+  let regs = ctx.Context.regs in
+  match d with
+      | Decode.D_alu (op, rd, rs, rt) ->
+        if rd <> 0 then
+          Array.unsafe_set regs rd
+            (Decode.eval_alu op (Array.unsafe_get regs rs)
+               (Array.unsafe_get regs rt));
         ctx.Context.pc <- pc + 1;
         Ev_normal
-      | Insn.Cmpi (c, rd, rs, imm) ->
-        let v = if Insn.eval_cmp c (Context.get_reg ctx rs) imm then 1 else 0 in
-        Context.set_reg ctx rd v;
+      | Decode.D_alui (op, rd, rs, imm) ->
+        if rd <> 0 then
+          Array.unsafe_set regs rd
+            (Decode.eval_alu op (Array.unsafe_get regs rs) imm);
         ctx.Context.pc <- pc + 1;
         Ev_normal
-      | Insn.Li (rd, imm) ->
-        Context.set_reg ctx rd imm;
+      | Decode.D_div (rd, rs, rt) ->
+        let b = Array.unsafe_get regs rt in
+        if b = 0 then Ev_fault Div_by_zero
+        else begin
+          if rd <> 0 then Array.unsafe_set regs rd (Array.unsafe_get regs rs / b);
+          ctx.Context.pc <- pc + 1;
+          Ev_normal
+        end
+      | Decode.D_mod (rd, rs, rt) ->
+        let b = Array.unsafe_get regs rt in
+        if b = 0 then Ev_fault Div_by_zero
+        else begin
+          if rd <> 0 then
+            Array.unsafe_set regs rd (Array.unsafe_get regs rs mod b);
+          ctx.Context.pc <- pc + 1;
+          Ev_normal
+        end
+      | Decode.D_divi (rd, rs, imm) ->
+        if imm = 0 then Ev_fault Div_by_zero
+        else begin
+          if rd <> 0 then
+            Array.unsafe_set regs rd (Array.unsafe_get regs rs / imm);
+          ctx.Context.pc <- pc + 1;
+          Ev_normal
+        end
+      | Decode.D_modi (rd, rs, imm) ->
+        if imm = 0 then Ev_fault Div_by_zero
+        else begin
+          if rd <> 0 then
+            Array.unsafe_set regs rd (Array.unsafe_get regs rs mod imm);
+          ctx.Context.pc <- pc + 1;
+          Ev_normal
+        end
+      | Decode.D_cmp (c, rd, rs, rt) ->
+        if rd <> 0 then
+          Array.unsafe_set regs rd
+            (if
+               Insn.eval_cmp c (Array.unsafe_get regs rs)
+                 (Array.unsafe_get regs rt)
+             then 1
+             else 0);
         ctx.Context.pc <- pc + 1;
         Ev_normal
-      | Insn.Mov (rd, rs) ->
-        Context.set_reg ctx rd (Context.get_reg ctx rs);
+      | Decode.D_cmpi (c, rd, rs, imm) ->
+        if rd <> 0 then
+          Array.unsafe_set regs rd
+            (if Insn.eval_cmp c (Array.unsafe_get regs rs) imm then 1 else 0);
         ctx.Context.pc <- pc + 1;
         Ev_normal
-      | Insn.Load (rd, base, off) ->
-        let addr = Context.get_reg ctx base + off in
+      | Decode.D_li (rd, imm) ->
+        if rd <> 0 then Array.unsafe_set regs rd imm;
+        ctx.Context.pc <- pc + 1;
+        Ev_normal
+      | Decode.D_mov (rd, rs) ->
+        if rd <> 0 then Array.unsafe_set regs rd (Array.unsafe_get regs rs);
+        ctx.Context.pc <- pc + 1;
+        Ev_normal
+      | Decode.D_load (rd, base, off) ->
+        let addr = Array.unsafe_get regs base + off in
         let v = data_read machine ctx addr in
-        Context.set_reg ctx rd v;
+        if rd <> 0 then Array.unsafe_set regs rd v;
         ctx.Context.pc <- pc + 1;
         Ev_normal
-      | Insn.Store (rs, base, off) ->
-        let addr = Context.get_reg ctx base + off in
-        data_write machine ctx addr (Context.get_reg ctx rs);
+      | Decode.D_store (rs, base, off) ->
+        let addr = Array.unsafe_get regs base + off in
+        data_write machine ctx addr (Array.unsafe_get regs rs);
         ctx.Context.pc <- pc + 1;
         Ev_normal
-      | Insn.Br (c, rs, rt, target) ->
+      | Decode.D_br (c, rs, rt, target) ->
+        let stats = ctx.Context.stats in
         stats.Context.branches <- stats.Context.branches + 1;
         let taken =
-          Insn.eval_cmp c (Context.get_reg ctx rs) (Context.get_reg ctx rt)
+          Insn.eval_cmp c (Array.unsafe_get regs rs) (Array.unsafe_get regs rt)
         in
-        let next = if taken then target else pc + 1 in
-        ctx.Context.pc <- next;
-        Ev_branch { br_pc = pc; taken; target; fallthrough = pc + 1 }
-      | Insn.Jmp target ->
+        ctx.Context.pc <- (if taken then target else pc + 1);
+        ctx.Context.br_pc <- pc;
+        ctx.Context.br_taken <- taken;
+        ctx.Context.br_target <- target;
+        Ev_branch
+      | Decode.D_jmp target ->
         ctx.Context.pc <- target;
         Ev_normal
-      | Insn.Call target ->
+      | Decode.D_call target ->
         push machine ctx (pc + 1);
         ctx.Context.pc <- target;
         Ev_normal
-      | Insn.Ret ->
+      | Decode.D_ret ->
         let ra = pop machine ctx in
         ctx.Context.pc <- ra;
         Ev_normal
-      | Insn.Push rs ->
-        push machine ctx (Context.get_reg ctx rs);
+      | Decode.D_push rs ->
+        push machine ctx (Array.unsafe_get regs rs);
         ctx.Context.pc <- pc + 1;
         Ev_normal
-      | Insn.Pop rd ->
+      | Decode.D_pop rd ->
         let v = pop machine ctx in
-        Context.set_reg ctx rd v;
+        if rd <> 0 then Array.unsafe_set regs rd v;
         ctx.Context.pc <- pc + 1;
         Ev_normal
-      | Insn.Syscall sys ->
+      | Decode.D_syscall sys ->
         if Context.is_sandboxed ctx then Ev_syscall sys
         else begin
           let ev = do_syscall machine ctx sys in
           ctx.Context.pc <- pc + 1;
           ev
         end
-      | Insn.Checkz (rs, site) ->
-        if Context.get_reg ctx rs = 0 then file_report machine ctx site;
+      | Decode.D_checkz (rs, site) ->
+        if Array.unsafe_get regs rs = 0 then file_report machine ctx site;
         ctx.Context.pc <- pc + 1;
         Ev_normal
-      | Insn.Watch (lo, hi, site) ->
+      | Decode.D_watch (lo, hi, site) ->
         let entry =
           Watchpoints.watch machine.Machine.watch
             ~lo:(Context.get_reg ctx lo) ~hi:(Context.get_reg ctx hi) ~site
@@ -212,7 +265,7 @@ let step machine ctx =
          | None -> ());
         ctx.Context.pc <- pc + 1;
         Ev_normal
-      | Insn.Unwatch (lo, hi) ->
+      | Decode.D_unwatch (lo, hi) ->
         let entry =
           Watchpoints.unwatch machine.Machine.watch
             ~lo:(Context.get_reg ctx lo) ~hi:(Context.get_reg ctx hi)
@@ -222,10 +275,10 @@ let step machine ctx =
          | None -> ());
         ctx.Context.pc <- pc + 1;
         Ev_normal
-      | Insn.Pred inner ->
+      | Decode.D_pred inner ->
         if ctx.Context.pred then begin
           ctx.Context.in_pred_fix <- true;
-          let ev = exec inner in
+          let ev = exec machine ctx pc inner in
           ctx.Context.in_pred_fix <- false;
           ev
         end
@@ -233,16 +286,25 @@ let step machine ctx =
           ctx.Context.pc <- pc + 1;
           Ev_normal
         end
-      | Insn.Clearpred ->
+      | Decode.D_clearpred ->
         ctx.Context.pred <- false;
         ctx.Context.pc <- pc + 1;
         Ev_normal
-      | Insn.Halt -> Ev_halt
-      | Insn.Nop ->
-        ctx.Context.pc <- pc + 1;
-        Ev_normal
-    in
-    try exec code.(pc) with
+      | Decode.D_halt -> Ev_halt
+  | Decode.D_nop ->
+    ctx.Context.pc <- pc + 1;
+    Ev_normal
+
+let step machine ctx =
+  let dcode = machine.Machine.dcode in
+  let pc = ctx.Context.pc in
+  if pc < 0 || pc >= Array.length dcode then Ev_fault (Bad_pc pc)
+  else begin
+    let stats = ctx.Context.stats in
+    stats.Context.insns <- stats.Context.insns + 1;
+    stats.Context.cycles <- stats.Context.cycles + 1;
+    machine.Machine.insn_index <- machine.Machine.insn_index + 1;
+    try exec machine ctx pc (Array.unsafe_get dcode pc) with
     | Memory.Fault f -> Ev_fault (Mem_fault f)
     | Overflow -> Ev_overflow
   end
@@ -261,7 +323,7 @@ let run_baseline ?(fuel = 200_000_000) machine =
     if ctx.Context.stats.Context.insns >= fuel then `Fuel_exhausted
     else
       match step machine ctx with
-      | Ev_normal | Ev_branch _ | Ev_syscall _ -> loop ()
+      | Ev_normal | Ev_branch | Ev_syscall _ -> loop ()
       | Ev_exit status -> `Exited status
       | Ev_halt -> `Halted
       | Ev_fault f -> `Faulted f

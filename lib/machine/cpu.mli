@@ -13,8 +13,12 @@ type fault =
 
 type event =
   | Ev_normal
-  | Ev_branch of { br_pc : int; taken : bool; target : int; fallthrough : int }
-      (** the branch was resolved and the pc already follows [taken] *)
+  | Ev_branch
+      (** the branch was resolved and the pc already follows its direction;
+          the branch's pc, direction and taken-target are in the context's
+          [br_pc]/[br_taken]/[br_target] scratch fields (fallthrough is
+          [br_pc + 1]) — a payload-free constructor keeps the hottest event
+          allocation-free *)
   | Ev_syscall of Insn.sys
       (** only returned from a sandboxed context, *before* executing the
           syscall: the unsafe event that squashes an NT-Path *)

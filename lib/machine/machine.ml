@@ -1,6 +1,7 @@
 type t = {
   config : Machine_config.t;
   program : Program.t;
+  dcode : Decode.t array;
   mem : Memory.t;
   l2 : Cache.t;
   btb : Btb.t;
@@ -11,6 +12,21 @@ type t = {
   mutable store_hook : (Context.t -> int -> int -> unit) option;
   telemetry : Telemetry.t;
 }
+
+(* One-slot decode memo: experiments compile a program once and then create
+   a machine per input, so consecutive creates usually share the same code
+   array (compared physically). A stale or torn slot only costs a re-decode;
+   decode is pure, so any cached value for the same code array is correct. *)
+let decode_memo : (Insn.t array * Decode.t array) option Atomic.t =
+  Atomic.make None
+
+let decode_code code =
+  match Atomic.get decode_memo with
+  | Some (c, d) when c == code -> d
+  | _ ->
+    let d = Decode.decode code in
+    Atomic.set decode_memo (Some (code, d));
+    d
 
 let create ?(config = Machine_config.default) ?(input = "") program =
   Program.validate program;
@@ -28,6 +44,7 @@ let create ?(config = Machine_config.default) ?(input = "") program =
   {
     config;
     program;
+    dcode = decode_code program.Program.code;
     mem;
     l2 =
       Cache.create ~size_kb:config.Machine_config.l2_size_kb
@@ -59,12 +76,20 @@ let main_context machine =
    version tag, read hits leave committed lines committed — but only probe
    the shared L2. *)
 let access_latency machine l1 ~owner ~write ~speculative addr =
-  match Cache.access ~owner ~write l1 addr with
+  match Cache.access_line l1 addr ~owner ~write ~allocate:true with
   | Cache.Hit -> 0
   | Cache.Miss ->
-    (match Cache.access ~allocate:(not speculative) machine.l2 addr with
+    (match
+       Cache.access_line machine.l2 addr ~owner:Cache.committed_owner
+         ~write:false ~allocate:(not speculative)
+     with
      | Cache.Hit -> machine.config.Machine_config.l2_latency
      | Cache.Miss -> machine.config.Machine_config.mem_latency)
+
+(* Recycle the machine's simulated address space (see Memory.release). Call
+   once the run is over and only results — reports, output, telemetry — will
+   be read; the memory contents are dead at that point. *)
+let release machine = Memory.release machine.mem
 
 let site_count machine = Array.length machine.program.Program.sites
 

@@ -6,6 +6,10 @@
 type t = {
   config : Machine_config.t;
   program : Program.t;
+  dcode : Decode.t array;
+      (** execution-form image of [program.code], decoded once at load:
+          register indices resolved, immediates split out, so the
+          interpreter's hot loop never re-inspects raw [Insn.t] *)
   mem : Memory.t;
   l2 : Cache.t;
   btb : Btb.t;
@@ -41,6 +45,12 @@ val main_context : t -> Context.t
     accesses probe the shared L2 without installing lines. *)
 val access_latency :
   t -> Cache.t -> owner:int -> write:bool -> speculative:bool -> int -> int
+
+(** Recycle this machine's simulated address space into the {!Memory} pool.
+    Call once the run is finished and only its *results* — reports, program
+    output, telemetry, statistics — will be consulted; the memory image
+    must not be read afterwards. *)
+val release : t -> unit
 
 val site_count : t -> int
 

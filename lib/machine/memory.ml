@@ -5,6 +5,9 @@ type t = {
   heap_end : int;
   stack_limit : int;
   stack_base : int;
+  mutable heap_hi : int;
+  mutable stack_lo : int;
+  mutable released : bool;
 }
 
 type fault = Null_access | Out_of_range of int
@@ -13,20 +16,70 @@ exception Fault of fault
 
 let null_guard = Program.null_guard_words
 
+(* Address-space pool. A default machine's memory is a ~1.3M-word array;
+   allocating and zeroing one per simulated run dominates run setup for the
+   short microbenchmark programs. Released arrays are re-zeroed only over
+   the two write watermarks — [0, heap_hi] below [stack_limit] and
+   [stack_lo, stack_base) above — which for these workloads is a few
+   thousand words, then parked here keyed by total size. Arrays in the pool
+   are always all-zero, so a pooled take is indistinguishable from a fresh
+   [Array.make]. The mutex keeps the pool safe under parallel sweep
+   domains. *)
+let pool : (int, int array list ref) Hashtbl.t = Hashtbl.create 8
+let pool_mutex = Mutex.create ()
+
+let pool_take size =
+  Mutex.lock pool_mutex;
+  let taken =
+    match Hashtbl.find_opt pool size with
+    | Some ({ contents = arr :: rest } as cell) ->
+      cell := rest;
+      Some arr
+    | _ -> None
+  in
+  Mutex.unlock pool_mutex;
+  taken
+
+let pool_put size arr =
+  Mutex.lock pool_mutex;
+  (match Hashtbl.find_opt pool size with
+  | Some cell -> cell := arr :: !cell
+  | None -> Hashtbl.add pool size (ref [ arr ]));
+  Mutex.unlock pool_mutex
+
 let create ~globals_words ~heap_words ~stack_words =
   let globals_end = null_guard + globals_words in
   let heap_base = globals_end in
   let heap_end = heap_base + heap_words in
   let stack_limit = heap_end in
   let stack_base = stack_limit + stack_words in
+  let words =
+    match pool_take stack_base with
+    | Some arr -> arr
+    | None -> Array.make stack_base 0
+  in
   {
-    words = Array.make stack_base 0;
+    words;
     globals_end;
     heap_base;
     heap_end;
     stack_limit;
     stack_base;
+    heap_hi = -1;
+    stack_lo = stack_base;
+    released = false;
   }
+
+let release mem =
+  if not mem.released then begin
+    mem.released <- true;
+    if mem.heap_hi >= 0 then Array.fill mem.words 0 (mem.heap_hi + 1) 0;
+    if mem.stack_lo < mem.stack_base then
+      Array.fill mem.words mem.stack_lo (mem.stack_base - mem.stack_lo) 0;
+    mem.heap_hi <- -1;
+    mem.stack_lo <- mem.stack_base;
+    pool_put mem.stack_base mem.words
+  end
 
 let size mem = Array.length mem.words
 
@@ -37,11 +90,15 @@ let check mem addr =
 
 let read mem addr =
   check mem addr;
-  mem.words.(addr)
+  Array.unsafe_get mem.words addr
 
 let write mem addr value =
   check mem addr;
-  mem.words.(addr) <- value
+  Array.unsafe_set mem.words addr value;
+  if addr < mem.stack_limit then begin
+    if addr > mem.heap_hi then mem.heap_hi <- addr
+  end
+  else if addr < mem.stack_lo then mem.stack_lo <- addr
 
 let is_valid mem addr = addr >= null_guard && addr < Array.length mem.words
 

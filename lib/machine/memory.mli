@@ -15,6 +15,12 @@ type t = {
   heap_end : int;
   stack_limit : int;  (** lowest legal stack address *)
   stack_base : int;  (** initial stack pointer *)
+  mutable heap_hi : int;
+      (** highest address written below [stack_limit], or -1 — bounds the
+          re-zero on {!release} *)
+  mutable stack_lo : int;
+      (** lowest address written at or above [stack_limit], or [stack_base] *)
+  mutable released : bool;
 }
 
 type fault = Null_access | Out_of_range of int
@@ -25,6 +31,15 @@ exception Fault of fault
 val null_guard : int
 
 val create : globals_words:int -> heap_words:int -> stack_words:int -> t
+
+(** Return this memory's backing array to a size-keyed pool for reuse by a
+    later {!create} of the same geometry. Only the written watermark ranges
+    are re-zeroed, so releasing is O(words actually touched), not O(address
+    space). The memory must not be read or written afterwards — its words
+    now belong to whichever machine takes them next. Double release is a
+    no-op. Pooled arrays are always all-zero, so simulation results are
+    identical with or without pooling. *)
+val release : t -> unit
 
 (** Total address-space size in words. *)
 val size : t -> int

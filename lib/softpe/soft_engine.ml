@@ -17,14 +17,20 @@ type result = {
 }
 
 (* Software exercise history: (branch pc, direction) -> count. Unlike the
-   4-bit BTB counters this table never overflows or aliases. *)
-type history = (int * bool, int) Hashtbl.t
+   4-bit BTB counters this never overflows or aliases. Branch pcs are code
+   indices, so a flat array indexed [2*pc + direction] replaces the hash
+   table the instrumented binary would use — same counts, no hashing on the
+   per-branch hot path. *)
+type history = int array
 
-let history_count history key =
-  Option.value ~default:0 (Hashtbl.find_opt history key)
+let history_index pc dir = (2 * pc) + if dir then 1 else 0
 
-let history_bump history key =
-  Hashtbl.replace history key (history_count history key + 1)
+let history_count (history : history) pc dir =
+  history.(history_index pc dir)
+
+let history_bump (history : history) pc dir =
+  let i = history_index pc dir in
+  history.(i) <- history.(i) + 1
 
 let run_nt_path machine (config : Pe_config.t) coverage ~ctx ~entry ~spawn_br_pc
     ~forced_direction ~path_id =
@@ -45,8 +51,8 @@ let run_nt_path machine (config : Pe_config.t) coverage ~ctx ~entry ~spawn_br_pc
       Coverage.record_pc_nt coverage ctx.Context.pc;
       match Cpu.step machine ctx with
       | Cpu.Ev_normal -> loop ()
-      | Cpu.Ev_branch { br_pc; taken; _ } ->
-        Coverage.record_nt coverage br_pc taken;
+      | Cpu.Ev_branch ->
+        Coverage.record_nt coverage ctx.Context.br_pc ctx.Context.br_taken;
         loop ()
       | Cpu.Ev_syscall sys -> Nt_path.T_unsafe sys
       | Cpu.Ev_halt -> Nt_path.T_program_end
@@ -77,7 +83,9 @@ let run ?(config = Pe_config.default) ?(model = Pin_model.default)
   let program = machine.Machine.program in
   let ctx = Machine.main_context machine in
   let coverage = Coverage.create program in
-  let history : history = Hashtbl.create 1024 in
+  let history : history =
+    Array.make (2 * Array.length program.Program.code) 0
+  in
   let nt_records = ref [] in
   let spawns = ref 0 in
   let next_path_id = ref 0 in
@@ -87,20 +95,15 @@ let run ?(config = Pe_config.default) ?(model = Pin_model.default)
   let nt_writes = ref 0 in
   let handle_branch ~br_pc ~taken =
     Coverage.record_taken coverage br_pc taken;
-    let forced = (br_pc, not taken) in
-    let forced_count = history_count history forced in
-    history_bump history (br_pc, taken);
+    let forced_count = history_count history br_pc (not taken) in
+    history_bump history br_pc taken;
     if
       config.Pe_config.mode <> Pe_config.Baseline
       && (config.Pe_config.spawn_everywhere
           || forced_count < config.Pe_config.nt_counter_threshold)
     then begin
-      history_bump history forced;
-      let entry =
-        match program.Program.code.(br_pc) with
-        | Insn.Br (_, _, _, target) -> if taken then br_pc + 1 else target
-        | _ -> assert false
-      in
+      history_bump history br_pc (not taken);
+      let entry = if taken then br_pc + 1 else ctx.Context.br_target in
       incr spawns;
       incr next_path_id;
       let record =
@@ -120,8 +123,8 @@ let run ?(config = Pe_config.default) ?(model = Pin_model.default)
       Coverage.record_pc_taken coverage ctx.Context.pc;
       match Cpu.step machine ctx with
       | Cpu.Ev_normal | Cpu.Ev_syscall _ -> loop ()
-      | Cpu.Ev_branch { br_pc; taken; _ } ->
-        handle_branch ~br_pc ~taken;
+      | Cpu.Ev_branch ->
+        handle_branch ~br_pc:ctx.Context.br_pc ~taken:ctx.Context.br_taken;
         loop ()
       | Cpu.Ev_exit status -> `Exited status
       | Cpu.Ev_halt -> `Halted

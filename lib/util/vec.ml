@@ -28,6 +28,9 @@ let set v i x =
   if i < 0 || i >= v.len then invalid_arg "Vec.set";
   v.data.(i) <- x
 
+(* Drop all elements; capacity (and any dummy-slot references) retained. *)
+let clear v = v.len <- 0
+
 let to_array v = Array.sub v.data 0 v.len
 
 let iteri f v =

@@ -12,5 +12,8 @@ val push : 'a t -> 'a -> unit
 val get : 'a t -> int -> 'a
 
 val set : 'a t -> int -> 'a -> unit
+
+(** Drop all elements, retaining capacity. *)
+val clear : 'a t -> unit
 val to_array : 'a t -> 'a array
 val iteri : (int -> 'a -> unit) -> 'a t -> unit

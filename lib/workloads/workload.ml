@@ -27,10 +27,30 @@ let find_bug workload version =
     invalid_arg
       (Printf.sprintf "workload %s has no bug version %d" workload.name version)
 
-(* Compile a workload, optionally with one planted bug version. *)
+(* Compile a workload, optionally with one planted bug version. Compilation
+   is deterministic and the compiled image is read-only (machines never
+   mutate the program), so results are memoised: experiment sweeps ask for
+   the same workload×detector×bug combination over and over. The mutex
+   keeps the table safe under parallel sweep domains; a racing duplicate
+   compile just yields a structurally identical image. *)
+let compile_memo = Hashtbl.create 64
+let compile_mutex = Mutex.create ()
+
 let compile ?(detector = Codegen.No_detector) ?(fixing = true) ?bug workload =
-  let options = { Codegen.detector; fixing } in
-  Compile.compile ~options (workload.source ~bug)
+  let key = (workload.name, detector, fixing, bug) in
+  Mutex.lock compile_mutex;
+  let cached = Hashtbl.find_opt compile_memo key in
+  Mutex.unlock compile_mutex;
+  match cached with
+  | Some compiled -> compiled
+  | None ->
+    let options = { Codegen.detector; fixing } in
+    let compiled = Compile.compile ~options (workload.source ~bug) in
+    Mutex.lock compile_mutex;
+    if not (Hashtbl.mem compile_memo key) then
+      Hashtbl.add compile_memo key compiled;
+    Mutex.unlock compile_mutex;
+    compiled
 
 (* PathExpander configuration appropriate for this workload: the paper's
    MaxNTPathLength is 100 for the small Siemens programs and 1000 elsewhere;

@@ -15,5 +15,6 @@ let () =
       ("telemetry", Test_telemetry.tests);
       ("parallel", Test_parallel.tests);
       ("more", Test_more.tests);
+      ("cache-properties", Test_cache_props.tests);
       ("properties", Test_props.tests);
     ]
