@@ -189,11 +189,19 @@ let run_bechamel ~quota () =
 
 (* Machine-readable benchmark trajectory: per-kernel ns/op from Bechamel plus
    the wall time of one full serial reproduction sweep, as sorted-key JSON.
-   CI uploads this as an artifact so per-PR regressions are visible. *)
+   CI uploads this as an artifact so per-PR regressions are visible.
+
+   [bench_schema_version] stamps the file so downstream comparisons can tell
+   layouts apart; bump it whenever a key is added, removed or re-meaninged.
+   Version 1 was the unstamped BENCH_PR2.json layout. *)
+let bench_schema_version = 2
+
 let write_json ~path ~sweep_wall_s ~jobs rows =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{";
-  Buffer.add_string buf (Printf.sprintf {|"jobs":%d,"kernels_ns":{|} jobs);
+  Buffer.add_string buf
+    (Printf.sprintf {|"schema":%d,"jobs":%d,"kernels_ns":{|}
+       bench_schema_version jobs);
   List.iteri
     (fun i (name, ns) ->
       if i > 0 then Buffer.add_char buf ',';
@@ -210,8 +218,9 @@ let write_json ~path ~sweep_wall_s ~jobs rows =
   Printf.printf "\nwrote %s (sweep %.2fs)\n" path sweep_wall_s
 
 let () =
-  let json_path = ref "BENCH_PR2.json" in
+  let json_path = ref "BENCH.json" in
   let smoke = ref false in
+  let trace_dir = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: path :: rest ->
@@ -219,6 +228,9 @@ let () =
       parse rest
     | "--smoke" :: rest ->
       smoke := true;
+      parse rest
+    | "--trace-dir" :: dir :: rest ->
+      trace_dir := Some dir;
       parse rest
     | arg :: _ -> invalid_arg ("bench: unknown argument " ^ arg)
   in
@@ -230,7 +242,15 @@ let () =
      timing is not polluted by sibling domains. *)
   Exp_common.set_jobs 1;
   let t0 = Unix.gettimeofday () in
-  Runner.run_all ~jobs:1 ();
+  (* Optionally flight-record the sweep. The capture costs allocation and
+     time, so the recorded sweep's wall time is measured but only the
+     untraced configuration is comparable against historical BENCH files. *)
+  (match !trace_dir with
+   | None -> Runner.run_all ~jobs:1 ()
+   | Some dir ->
+     let (), dumps = Recorder.capture_runs (fun () -> Runner.run_all ~jobs:1 ()) in
+     let files = Recorder.save_dir ~dir dumps in
+     Printf.eprintf "traces: %d runs -> %s\n%!" (List.length files) dir);
   let sweep_wall_s = Unix.gettimeofday () -. t0 in
   let rows = run_bechamel ~quota:(if !smoke then 0.1 else 0.4) () in
   write_json ~path:!json_path ~sweep_wall_s ~jobs:1 rows

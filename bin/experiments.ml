@@ -65,7 +65,16 @@ let telemetry_arg =
   Arg.(
     value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
 
-let main list jobs telemetry ids =
+let trace_dir_arg =
+  let doc =
+    "Capture every run's flight-recorder trace (NT-Path lifecycle events in \
+     sim time) and write one JSONL file per run into $(docv). File names and \
+     contents are deterministic: byte-identical serial or under $(b,--jobs)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
+
+let main list jobs telemetry trace_dir ids =
   if list then list_ids ()
   else begin
     Exp_common.set_jobs jobs;
@@ -73,6 +82,17 @@ let main list jobs telemetry ids =
       match ids with
       | [] -> Runner.run_all ()
       | ids -> Runner.run_list (experiments_for ids)
+    in
+    (* Trace capture wraps the sweep (innermost) so it composes with
+       --telemetry; each finished run submits an immutable event dump. *)
+    let run () =
+      match trace_dir with
+      | None -> run ()
+      | Some dir ->
+        let v, dumps = Recorder.capture_runs run in
+        let files = Recorder.save_dir ~dir dumps in
+        Printf.eprintf "traces: %d runs -> %s\n%!" (List.length files) dir;
+        v
     in
     match telemetry with
     | None -> run ()
@@ -92,6 +112,9 @@ let main list jobs telemetry ids =
 let cmd =
   let doc = "regenerate the PathExpander paper's tables and figures" in
   let info = Cmd.info "experiments" ~doc in
-  Cmd.v info Term.(const main $ list_arg $ jobs_arg $ telemetry_arg $ ids_arg)
+  Cmd.v info
+    Term.(
+      const main $ list_arg $ jobs_arg $ telemetry_arg $ trace_dir_arg
+      $ ids_arg)
 
 let () = exit (Cmd.eval cmd)

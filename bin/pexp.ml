@@ -38,7 +38,7 @@ let termination_summary records =
     (count (fun r -> r.Nt_path.termination = Nt_path.T_cache_overflow))
 
 let run_one ~app ~detector ~mode ~bug ~fixing ~seed ~random_input ~stats
-    ~disasm =
+    ~disasm ~trace ~trace_chrome =
   let workload = Registry.find app in
   let compiled = Workload.compile ~detector ~fixing ?bug workload in
   if disasm then print_string (Program.disassemble compiled.Compile.program);
@@ -46,11 +46,34 @@ let run_one ~app ~detector ~mode ~bug ~fixing ~seed ~random_input ~stats
     if random_input then workload.Workload.gen_input (Rng.create seed)
     else workload.Workload.default_input
   in
-  let machine = Machine.create ~input compiled.Compile.program in
+  let recorder =
+    if trace <> None || trace_chrome <> None then Recorder.create ()
+    else Recorder.disabled
+  in
+  let machine = Machine.create ~input ~recorder compiled.Compile.program in
   let config =
     { (Workload.pe_config ~mode workload) with Pe_config.fixing }
   in
   let result = Engine.run ~config machine in
+  (* Flight-recorder exports before the human-readable report, so a crash in
+     the analysis below can't lose a captured trace. *)
+  let dump () =
+    Recorder.dump
+      ~label:(Printf.sprintf "%s/%s" app (Pe_config.mode_name mode))
+      recorder
+  in
+  (match trace with
+   | None -> ()
+   | Some file ->
+     Recorder.write_file file (Recorder.jsonl_of_dump (dump ()));
+     Printf.eprintf "trace: %d events -> %s\n%!" (Recorder.length recorder)
+       file);
+  (match trace_chrome with
+   | None -> ()
+   | Some file ->
+     Recorder.write_file file (Recorder.chrome_of_dump (dump ()));
+     Printf.eprintf "chrome trace: %d events -> %s\n%!"
+       (Recorder.length recorder) file);
   Printf.printf "%s under %s (%s): %s\n" app
     (Codegen.detector_name detector)
     (Pe_config.mode_name mode)
@@ -124,16 +147,37 @@ let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List workloads.")
 let disasm_arg =
   Arg.(value & flag & info [ "disasm" ] ~doc:"Print the compiled image's disassembly first.")
 
-let main list app detector mode bug fixing seed random_input stats disasm =
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the run's NT-Path lifecycle events (sim-time flight \
+           recorder) and write them as JSONL to $(docv).")
+
+let trace_chrome_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-chrome" ] ~docv:"FILE"
+        ~doc:
+          "Like $(b,--trace) but in Chrome trace-event format (load in \
+           Perfetto or chrome://tracing).")
+
+let main list app detector mode bug fixing seed random_input stats disasm
+    trace trace_chrome =
   if list then list_apps ()
   else
-    run_one ~app ~detector ~mode ~bug ~fixing ~seed ~random_input ~stats ~disasm
+    run_one ~app ~detector ~mode ~bug ~fixing ~seed ~random_input ~stats
+      ~disasm ~trace ~trace_chrome
 
 let cmd =
   let doc = "run a workload under a dynamic bug detector with PathExpander" in
   Cmd.v (Cmd.info "pexp" ~doc)
     Term.(
       const main $ list_arg $ app_arg $ detector_arg $ mode_arg $ bug_arg
-      $ fixing_arg $ seed_arg $ random_arg $ stats_arg $ disasm_arg)
+      $ fixing_arg $ seed_arg $ random_arg $ stats_arg $ disasm_arg
+      $ trace_arg $ trace_chrome_arg)
 
 let () = exit (Cmd.eval cmd)

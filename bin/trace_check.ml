@@ -1,0 +1,85 @@
+(* trace_check — validate flight-recorder JSONL traces.
+
+   Usage: trace_check FILE.jsonl ...     (validate each file)
+          trace_check DIR                (validate every *.jsonl inside)
+
+   Every line must parse as a complete JSON object; the first line must be a
+   meta record with the known schema version; every following line must be an
+   event with a recognised "type". Exit status is non-zero on any failure,
+   so CI can gate on captured traces being well-formed. *)
+
+let known_types =
+  [ "spawn"; "terminate"; "commit"; "squash"; "bug"; "counter_reset" ]
+
+let fail file line msg =
+  Printf.eprintf "%s:%d: %s\n" file line msg;
+  false
+
+let check_line file lineno ~first line =
+  match Jsonu.parse line with
+  | Error msg -> fail file lineno ("invalid JSON: " ^ msg)
+  | Ok v ->
+    (match Jsonu.member "type" v with
+     | Some (Jsonu.Str ty) ->
+       if first then
+         if ty <> "meta" then
+           fail file lineno ("first line must be meta, got " ^ ty)
+         else begin
+           match Jsonu.member "schema" v with
+           | Some (Jsonu.Num n)
+             when int_of_float n = Recorder.jsonl_schema_version ->
+             true
+           | Some _ | None ->
+             fail file lineno
+               (Printf.sprintf "meta line must carry schema %d"
+                  Recorder.jsonl_schema_version)
+         end
+       else if List.mem ty known_types then true
+       else fail file lineno ("unknown event type " ^ ty)
+     | Some _ -> fail file lineno "\"type\" must be a string"
+     | None -> fail file lineno "missing \"type\" field")
+
+let check_file file =
+  let ic = open_in file in
+  let ok = ref true in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if not (check_line file !lineno ~first:(!lineno = 1) line) then
+         ok := false
+     done
+   with End_of_file -> ());
+  close_in ic;
+  if !lineno = 0 then ok := fail file 0 "empty trace";
+  if !ok then
+    Printf.printf "%s: ok (%d lines)\n" file !lineno;
+  !ok
+
+let jsonl_files_of_dir dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then begin
+    prerr_endline "usage: trace_check FILE.jsonl ... | trace_check DIR";
+    exit 2
+  end;
+  let files =
+    List.concat_map
+      (fun a ->
+        if Sys.is_directory a then
+          match jsonl_files_of_dir a with
+          | [] ->
+            Printf.eprintf "%s: no .jsonl files\n" a;
+            exit 1
+          | fs -> fs
+        else [ a ])
+      args
+  in
+  let ok = List.for_all check_file files in
+  exit (if ok then 0 else 1)

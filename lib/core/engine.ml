@@ -197,12 +197,36 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
      (see the telemetry block below) rather than measured per spawn: a
      [Telemetry.span] here cost two [Unix.gettimeofday] calls per NT-Path,
      which for short paths rivalled the path's own execution time. *)
+  let recorder = machine.Machine.recorder in
+  let last_spawn_cycle = ref 0 in
+  (* Histogram handles resolved once per run; spawns observe through them
+     without re-hashing the metric names. *)
+  let h_interarrival = Telemetry.hist tel "nt.spawn_interarrival" in
+  let h_len = Telemetry.hist tel "nt.len" in
+  let h_dirty = Telemetry.hist tel "nt.dirty_per_squash" in
   let run_nt_path ?fix_override ~l1 ~entry ~br_pc ~forced_direction () =
+    let now = ctx.Context.stats.Context.cycles in
+    Telemetry.hist_observe h_interarrival (now - !last_spawn_cycle);
+    last_spawn_cycle := now;
+    let path_id = fresh_path_id () in
+    (* Flight-recorder clock bracket: the Spawn event fires at the primary
+       core's current cycle, then that instant becomes the base for the
+       path's own events (bug reports, squash, terminate), which carry
+       path-local cycle offsets. *)
+    if Recorder.enabled recorder then begin
+      Recorder.set_local recorder now;
+      Recorder.emit_spawn recorder ~path_id ~br_pc ~edge:forced_direction
+        ~entry_pc:entry;
+      Recorder.set_base recorder now
+    end;
     let record =
       Nt_path.run ?fix_override machine config coverage ~arena:nt_arena ~l1
         ~regs:ctx.Context.regs ~entry ~spawn_br_pc:br_pc ~forced_direction
-        ~path_id:(fresh_path_id ())
+        ~path_id
     in
+    if Recorder.enabled recorder then Recorder.set_base recorder 0;
+    Telemetry.hist_observe h_len record.Nt_path.insns;
+    Telemetry.hist_observe h_dirty record.Nt_path.squashed_lines;
     nt_insns := !nt_insns + record.Nt_path.insns;
     record
   in
@@ -294,6 +318,11 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
       then begin
         Btb.reset_counters machine.Machine.btb;
         Telemetry.incr tel "btb.counter_resets";
+        if Recorder.enabled recorder then begin
+          Recorder.set_local recorder ctx.Context.stats.Context.cycles;
+          Recorder.emit_counter_reset recorder
+            ~insns:ctx.Context.stats.Context.insns
+        end;
         last_reset := ctx.Context.stats.Context.insns
       end;
       Coverage.record_pc_taken coverage ctx.Context.pc;
@@ -348,6 +377,7 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
   Telemetry.gauge tel "phase.taken_s"
     (run_wall -. Telemetry.timer_total tel "phase.nt_path");
   Telemetry.submit tel;
+  Recorder.submit ~label:(Telemetry.label tel) recorder;
   {
     outcome;
     taken_insns = ctx.Context.stats.Context.insns;

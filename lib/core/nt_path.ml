@@ -13,6 +13,7 @@ type record = {
   cycles : int;
   stores : int;
   branches : int;
+  squashed_lines : int;
   termination : termination;
 }
 
@@ -68,6 +69,7 @@ let run ?fix_override machine (config : Pe_config.t) coverage ~arena ~l1 ~regs
   Array.blit regs 0 ctx.Context.regs 0 Reg.count;
   let sandbox = arena.sandbox in
   Context.reset_sandbox sandbox ~path_id;
+  Context.set_spawn_info sandbox ~br_pc:spawn_br_pc ~edge:forced_direction;
   Context.enter_sandbox ctx sandbox;
   (* Profiled fixing supplies a historically observed value directly into
      the sandbox and suppresses the boundary stubs; otherwise the stubs run
@@ -132,12 +134,29 @@ let run ?fix_override machine (config : Pe_config.t) coverage ~arena ~l1 ~regs
   in
   let termination = loop () in
   Context.undo_watches sandbox machine.Machine.watch;
+  let recorder = machine.Machine.recorder in
+  (* Time the squash (and the Terminate event below) at the path's own final
+     cycle count — the recorder's base is the spawn instant. *)
+  if Recorder.enabled recorder then
+    Recorder.set_local recorder ctx.Context.stats.Context.cycles;
   let squashed_lines = Cache.gang_invalidate l1 ~owner:path_id in
   let tel = machine.Machine.telemetry in
   Telemetry.incr tel ("nt.term." ^ termination_name termination);
   Telemetry.count tel "nt.insns" ctx.Context.stats.Context.insns;
   Telemetry.count tel "nt.cycles" ctx.Context.stats.Context.cycles;
   Telemetry.count tel "nt.squashed_lines" squashed_lines;
+  if Recorder.enabled recorder then begin
+    let cause : Recorder.cause =
+      match termination with
+      | T_max_length -> Recorder.Max_length
+      | T_crash _ -> Recorder.Crash
+      | T_unsafe _ -> Recorder.Unsafe_event
+      | T_program_end -> Recorder.Program_end
+      | T_cache_overflow -> Recorder.Cache_overflow
+    in
+    Recorder.emit_terminate recorder ~path_id ~cause
+      ~len:ctx.Context.stats.Context.insns ~dirty_lines:squashed_lines
+  end;
   {
     spawn_br_pc;
     forced_direction;
@@ -146,5 +165,6 @@ let run ?fix_override machine (config : Pe_config.t) coverage ~arena ~l1 ~regs
     cycles = ctx.Context.stats.Context.cycles;
     stores = ctx.Context.stats.Context.stores;
     branches = ctx.Context.stats.Context.branches;
+    squashed_lines;
     termination;
   }

@@ -24,6 +24,7 @@ type record = {
   cycles : int;
   stores : int;
   branches : int;
+  squashed_lines : int;  (** dirty L1 lines gang-invalidated at squash *)
   termination : termination;
 }
 

@@ -37,6 +37,9 @@ type t = {
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
+  mutable recorder : Recorder.t;
+      (* the owning machine's flight recorder (the disabled singleton until
+         attached): squash/commit of an owner's lines emit lifecycle events *)
 }
 
 let committed_owner = 0
@@ -65,7 +68,10 @@ let create ~size_kb ~assoc ~line_bytes =
     clock = 0;
     hits = 0;
     misses = 0;
+    recorder = Recorder.disabled;
   }
+
+let set_recorder cache recorder = cache.recorder <- recorder
 
 let line_addr cache addr =
   if cache.line_shift >= 0 && addr >= 0 then addr lsr cache.line_shift
@@ -204,39 +210,51 @@ let sweep_owned_lines cache ~owner =
    handful of cycles; the cycle cost is charged separately as the squash
    overhead. *)
 let gang_invalidate cache ~owner =
-  if tracked owner && owner <> committed_owner then begin
-    let vec = cache.owner_journal.(owner) in
-    let count = cache.owner_count.(owner) in
-    Vec.iteri
-      (fun _ i ->
-        if line_valid cache i && cache.owners.(i) = owner then begin
-          Bytes.unsafe_set cache.valid i '\000';
-          cache.owners.(i) <- committed_owner
-        end)
-      vec;
-    Vec.clear vec;
-    cache.owner_count.(owner) <- 0;
-    count
-  end
-  else sweep_gang_invalidate cache ~owner
+  let count =
+    if tracked owner && owner <> committed_owner then begin
+      let vec = cache.owner_journal.(owner) in
+      let count = cache.owner_count.(owner) in
+      Vec.iteri
+        (fun _ i ->
+          if line_valid cache i && cache.owners.(i) = owner then begin
+            Bytes.unsafe_set cache.valid i '\000';
+            cache.owners.(i) <- committed_owner
+          end)
+        vec;
+      Vec.clear vec;
+      cache.owner_count.(owner) <- 0;
+      count
+    end
+    else sweep_gang_invalidate cache ~owner
+  in
+  (* Only squashes that released lines are trace-worthy: the defensive
+     cleanup on path-id wrap gang-invalidates empty owners every spawn. *)
+  if Recorder.enabled cache.recorder && count > 0 then
+    Recorder.emit_squash cache.recorder ~owner ~lines:count;
+  count
 
 (* Lazily commit a path's lines: retag them as committed data. *)
 let commit_owner cache ~owner =
-  if tracked owner && owner <> committed_owner then begin
-    let vec = cache.owner_journal.(owner) in
-    let count = cache.owner_count.(owner) in
-    Vec.iteri
-      (fun _ i ->
-        if line_valid cache i && cache.owners.(i) = owner then begin
-          cache.owners.(i) <- committed_owner;
-          count_incr cache committed_owner
-        end)
-      vec;
-    Vec.clear vec;
-    cache.owner_count.(owner) <- 0;
-    count
-  end
-  else sweep_commit_owner cache ~owner
+  let count =
+    if tracked owner && owner <> committed_owner then begin
+      let vec = cache.owner_journal.(owner) in
+      let count = cache.owner_count.(owner) in
+      Vec.iteri
+        (fun _ i ->
+          if line_valid cache i && cache.owners.(i) = owner then begin
+            cache.owners.(i) <- committed_owner;
+            count_incr cache committed_owner
+          end)
+        vec;
+      Vec.clear vec;
+      cache.owner_count.(owner) <- 0;
+      count
+    end
+    else sweep_commit_owner cache ~owner
+  in
+  if Recorder.enabled cache.recorder && count > 0 then
+    Recorder.emit_commit cache.recorder ~owner ~lines:count;
+  count
 
 let owned_lines cache ~owner =
   if tracked owner then cache.owner_count.(owner)

@@ -15,6 +15,12 @@ val committed_owner : int
 
 val create : size_kb:int -> assoc:int -> line_bytes:int -> t
 
+(** Attach the owning machine's flight recorder (the {!Recorder.disabled}
+    singleton until attached): {!gang_invalidate} and {!commit_owner} then
+    emit [Squash]/[Commit] lifecycle events for line-releasing operations,
+    timestamped with the recorder's current sim-time clock. *)
+val set_recorder : t -> Recorder.t -> unit
+
 (** [access ?owner ?write ?allocate cache addr] touches the line holding
     word [addr], filling it on a miss unless [allocate] is [false]
     (speculative paths probe the shared L2 without installing lines).

@@ -111,6 +111,10 @@ type sandbox = {
   kind : sandbox_kind;
   mutable watch_journal : Watchpoints.journal_entry list;
   mutable path_id : int;
+  (* Spawn provenance, carried so reports filed inside the path can name
+     the branch edge that created it (-1 / false until set). *)
+  mutable spawn_pc : int;
+  mutable spawn_edge : bool;
 }
 
 type t = {
@@ -199,16 +203,26 @@ let make_sandbox ~path_id ~line_limit ~words_per_line =
         };
     path_id;
     watch_journal = [];
+    spawn_pc = -1;
+    spawn_edge = false;
   }
 
 let make_write_log_sandbox ~path_id =
-  { kind = Write_log { log = []; log_size = 0 }; path_id; watch_journal = [] }
+  {
+    kind = Write_log { log = []; log_size = 0 };
+    path_id;
+    watch_journal = [];
+    spawn_pc = -1;
+    spawn_edge = false;
+  }
 
 (* Recycle a sandbox for the next spawn: O(1) for overlays (generation
    bump), so pooling beats per-spawn allocation. *)
 let reset_sandbox sandbox ~path_id =
   sandbox.path_id <- path_id;
   sandbox.watch_journal <- [];
+  sandbox.spawn_pc <- -1;
+  sandbox.spawn_edge <- false;
   match sandbox.kind with
   | Overlay o ->
     Itab.reset o.store;
@@ -228,6 +242,13 @@ let path_id ctx =
   match ctx.sandbox with Some sb -> sb.path_id | None -> Cache.committed_owner
 
 let sandbox_path_id sandbox = sandbox.path_id
+
+let set_spawn_info sandbox ~br_pc ~edge =
+  sandbox.spawn_pc <- br_pc;
+  sandbox.spawn_edge <- edge
+
+let sandbox_spawn_pc sandbox = sandbox.spawn_pc
+let sandbox_spawn_edge sandbox = sandbox.spawn_edge
 
 (* A sandboxed read sees the path's own buffered version first. *)
 let sandbox_read sandbox mem addr =

@@ -83,6 +83,18 @@ val path_id : t -> int
     [ctx.sandbox] and hold the payload. *)
 val sandbox_path_id : sandbox -> int
 
+(** Record the spawn provenance of the path running in this sandbox: the
+    spawning branch pc and the forced (non-taken) direction. Cleared to
+    [-1]/[false] by {!reset_sandbox}; reports filed inside the path carry
+    these so every bug gains its path origin. *)
+val set_spawn_info : sandbox -> br_pc:int -> edge:bool -> unit
+
+(** Spawning branch pc ([-1] when never set). *)
+val sandbox_spawn_pc : sandbox -> int
+
+(** Forced branch direction at spawn ([false] when never set). *)
+val sandbox_spawn_edge : sandbox -> bool
+
 (** Read through the sandbox overlay when present. *)
 val read_mem : t -> Memory.t -> int -> int
 

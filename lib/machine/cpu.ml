@@ -23,14 +23,32 @@ let fault_to_string = function
 
 exception Overflow
 
+(* File a detector report with its path-origin provenance, and mirror it
+   into the flight recorder (timestamped base + the reporting context's own
+   cycles — sim time, so traces stay deterministic). *)
 let file_report machine ctx site =
-  let origin =
-    match ctx.Context.sandbox with
-    | Some _ -> Report.Nt_path (Context.path_id ctx)
-    | None -> Report.Taken_path
-  in
-  Report.file machine.Machine.reports ~site ~origin ~pc:ctx.Context.pc
-    ~insn_index:machine.Machine.insn_index
+  let recorder = machine.Machine.recorder in
+  let pc = ctx.Context.pc in
+  match ctx.Context.sandbox with
+  | Some sb ->
+    let path_id = Context.sandbox_path_id sb in
+    let spawn_site = Context.sandbox_spawn_pc sb in
+    let edge = if Context.sandbox_spawn_edge sb then 1 else 0 in
+    Report.file machine.Machine.reports ~site ~origin:(Report.Nt_path path_id)
+      ~spawn_br_pc:spawn_site ~branch_edge:edge ~pc
+      ~insn_index:machine.Machine.insn_index;
+    if Recorder.enabled recorder then begin
+      Recorder.set_local recorder ctx.Context.stats.Context.cycles;
+      Recorder.emit_bug recorder ~site ~origin:path_id ~spawn_site ~edge ~pc
+    end
+  | None ->
+    Report.file machine.Machine.reports ~site ~origin:Report.Taken_path ~pc
+      ~insn_index:machine.Machine.insn_index;
+    if Recorder.enabled recorder then begin
+      Recorder.set_local recorder ctx.Context.stats.Context.cycles;
+      Recorder.emit_bug recorder ~site ~origin:0 ~spawn_site:(-1) ~edge:(-1)
+        ~pc
+    end
 
 let check_watch machine ctx ~is_write addr =
   if Watchpoints.count machine.Machine.watch > 0 then

@@ -11,6 +11,7 @@ type t = {
   mutable insn_index : int;
   mutable store_hook : (Context.t -> int -> int -> unit) option;
   telemetry : Telemetry.t;
+  recorder : Recorder.t;
 }
 
 (* One-slot decode memo: experiments compile a program once and then create
@@ -28,7 +29,7 @@ let decode_code code =
     Atomic.set decode_memo (Some (code, d));
     d
 
-let create ?(config = Machine_config.default) ?(input = "") program =
+let create ?(config = Machine_config.default) ?(input = "") ?recorder program =
   Program.validate program;
   let mem =
     Memory.create ~globals_words:program.Program.globals_words
@@ -41,15 +42,24 @@ let create ?(config = Machine_config.default) ?(input = "") program =
      base, which is only known once memory is laid out. *)
   if program.Program.globals_words > 0 then
     Memory.write mem Memory.null_guard mem.Memory.heap_base;
+  (* The flight recorder defaults through the process-global tracing switch:
+     the disabled singleton (one branch per emit site, no storage) unless a
+     sweep capture is armed. *)
+  let recorder =
+    match recorder with Some r -> r | None -> Recorder.obtain ()
+  in
+  let l2 =
+    Cache.create ~size_kb:config.Machine_config.l2_size_kb
+      ~assoc:config.Machine_config.l2_assoc
+      ~line_bytes:config.Machine_config.line_bytes
+  in
+  Cache.set_recorder l2 recorder;
   {
     config;
     program;
     dcode = decode_code program.Program.code;
     mem;
-    l2 =
-      Cache.create ~size_kb:config.Machine_config.l2_size_kb
-        ~assoc:config.Machine_config.l2_assoc
-        ~line_bytes:config.Machine_config.line_bytes;
+    l2;
     btb =
       Btb.create ~entries:config.Machine_config.btb_entries
         ~assoc:config.Machine_config.btb_assoc;
@@ -59,12 +69,17 @@ let create ?(config = Machine_config.default) ?(input = "") program =
     insn_index = 0;
     store_hook = None;
     telemetry = Telemetry.create ();
+    recorder;
   }
 
 let new_l1 machine =
-  Cache.create ~size_kb:machine.config.Machine_config.l1_size_kb
-    ~assoc:machine.config.Machine_config.l1_assoc
-    ~line_bytes:machine.config.Machine_config.line_bytes
+  let l1 =
+    Cache.create ~size_kb:machine.config.Machine_config.l1_size_kb
+      ~assoc:machine.config.Machine_config.l1_assoc
+      ~line_bytes:machine.config.Machine_config.line_bytes
+  in
+  Cache.set_recorder l1 machine.recorder;
+  l1
 
 let main_context machine =
   Context.create ~l1:(new_l1 machine) ~pc:machine.program.Program.entry

@@ -26,11 +26,21 @@ type t = {
       (** per-run observability sink; the engine fills it with spawn,
           termination, cache, BTB and phase-timing data and submits it to
           the global collector at the end of the run *)
+  recorder : Recorder.t;
+      (** per-run flight recorder of NT-Path lifecycle events in sim time;
+          the {!Recorder.disabled} singleton unless tracing is armed (or an
+          explicit recorder was passed to {!create}), making every emit site
+          a single branch *)
 }
 
 (** Validates the program, lays out memory, installs initial data and points
-    the runtime allocator's break word (global address 1) at the heap base. *)
-val create : ?config:Machine_config.t -> ?input:string -> Program.t -> t
+    the runtime allocator's break word (global address 1) at the heap base.
+    [recorder] overrides the process-global tracing default
+    ({!Recorder.obtain}); it is attached to the L2 and every L1 this machine
+    creates. *)
+val create :
+  ?config:Machine_config.t -> ?input:string -> ?recorder:Recorder.t ->
+  Program.t -> t
 
 (** A fresh L1 cache with this machine's geometry (one per core). *)
 val new_l1 : t -> Cache.t

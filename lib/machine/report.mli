@@ -12,13 +12,29 @@ type entry = {
   origin : origin;
   pc : int;  (** pc of the reporting instruction *)
   insn_index : int;  (** dynamic instruction count when filed *)
+  spawn_br_pc : int;
+      (** pc of the branch whose non-taken edge spawned the reporting
+          NT-Path; [-1] for taken-path reports *)
+  branch_edge : int;
+      (** the forced direction of that edge (0/1); [-1] for taken-path
+          reports *)
 }
 
 type t
 
 val create : unit -> t
 
-val file : t -> site:int -> origin:origin -> pc:int -> insn_index:int -> unit
+(** File a report. [spawn_br_pc]/[branch_edge] default to [-1] (taken-path
+    provenance); NT-Path reports pass the spawning edge. *)
+val file :
+  ?spawn_br_pc:int ->
+  ?branch_edge:int ->
+  t ->
+  site:int ->
+  origin:origin ->
+  pc:int ->
+  insn_index:int ->
+  unit
 
 (** All entries, oldest first. *)
 val entries : t -> entry list
@@ -33,5 +49,9 @@ val sites_from_nt_paths : t -> int list
 
 (** Distinct sites that fired on the taken path. *)
 val sites_from_taken_path : t -> int list
+
+(** Sorted distinct [(spawn_br_pc, branch_edge)] pairs whose NT-Paths filed
+    at least one report — which cold edges exposed bugs. *)
+val spawn_edges : t -> (int * int) list
 
 val clear : t -> unit

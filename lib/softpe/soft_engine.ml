@@ -36,6 +36,7 @@ let run_nt_path machine (config : Pe_config.t) coverage ~ctx ~entry ~spawn_br_pc
     ~forced_direction ~path_id =
   let saved = Context.checkpoint ctx in
   let sandbox = Context.make_write_log_sandbox ~path_id in
+  Context.set_spawn_info sandbox ~br_pc:spawn_br_pc ~edge:forced_direction;
   Context.enter_sandbox ctx sandbox;
   ctx.Context.pc <- entry;
   ctx.Context.pred <- config.Pe_config.fixing;
@@ -75,6 +76,7 @@ let run_nt_path machine (config : Pe_config.t) coverage ~ctx ~entry ~spawn_br_pc
     cycles = 0;
     stores = nt_writes;
     branches = ctx.Context.stats.Context.branches - start_branches;
+    squashed_lines = 0;  (* restore-log rollback: no cache lines to squash *)
     termination;
   }
 

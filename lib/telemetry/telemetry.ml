@@ -1,6 +1,7 @@
 (* Lightweight observability for simulator runs: named counters, float
-   gauges, accumulating wall-clock timers and a bounded span trace, emitted
-   as structured JSON (per run, or aggregated over a sweep).
+   gauges, log-bucketed integer histograms, accumulating wall-clock timers
+   and a bounded span trace, emitted as structured JSON (per run, or
+   aggregated over a sweep).
 
    A sink belongs to exactly one run (one [Machine.t]); it is mutated from a
    single domain, so none of the per-sink operations lock. The only shared
@@ -15,13 +16,28 @@ type timer = {
 
 type span = { sp_name : string; sp_depth : int; sp_start_s : float; sp_dur_s : float }
 
+(* Log-bucketed histogram of non-negative integer observations. Bucket 0
+   holds values <= 0; bucket i >= 1 holds [2^(i-1), 2^i - 1], so 63 buckets
+   cover every OCaml int up to [max_int] (2^62 - 1 lands in bucket 62). *)
+let hist_bucket_count = 63
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  h_buckets : int array;
+}
+
 type t = {
   mutable label : string;
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
   timers : (string, timer) Hashtbl.t;
   mutable trace : span list;  (* newest first, bounded *)
   mutable trace_len : int;
+  mutable trace_dropped : int;  (* spans past the bound, silently elided *)
   mutable depth : int;
   created_s : float;
 }
@@ -35,9 +51,11 @@ let create ?(label = "") () =
     label;
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 8;
     timers = Hashtbl.create 8;
     trace = [];
     trace_len = 0;
+    trace_dropped = 0;
     depth = 0;
     created_s = now ();
   }
@@ -62,6 +80,60 @@ let gauge t name v =
 
 let gauge_value t name =
   match Hashtbl.find_opt t.gauges name with Some r -> Some !r | None -> None
+
+(* ---- Histograms --------------------------------------------------------- *)
+
+let hist_bucket_index v =
+  if v <= 0 then 0
+  else begin
+    (* 1 + floor(log2 v): the number of significant bits of v. *)
+    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+    bits v 0
+  end
+
+let hist_bucket_lo i = if i <= 0 then 0 else 1 lsl (i - 1)
+
+(* Resolve (or create) the named histogram once; hot loops hold the handle
+   and pay only the bucket increment per observation, not a name lookup. *)
+let hist t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_count = 0;
+        h_sum = 0;
+        h_min = max_int;
+        h_max = min_int;
+        h_buckets = Array.make hist_bucket_count 0;
+      }
+    in
+    Hashtbl.replace t.hists name h;
+    h
+
+let hist_observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let i = hist_bucket_index v in
+  h.h_buckets.(i) <- h.h_buckets.(i) + 1
+
+let observe t name v = hist_observe (hist t name) v
+
+let hist_count t name =
+  match Hashtbl.find_opt t.hists name with Some h -> h.h_count | None -> 0
+
+let hist_buckets t name =
+  match Hashtbl.find_opt t.hists name with
+  | None -> []
+  | Some h ->
+    let acc = ref [] in
+    for i = hist_bucket_count - 1 downto 0 do
+      if h.h_buckets.(i) > 0 then
+        acc := (hist_bucket_lo i, h.h_buckets.(i)) :: !acc
+    done;
+    !acc
 
 let timer_record t name dur =
   let tm =
@@ -88,6 +160,7 @@ let push_span t name start dur =
       :: t.trace;
     t.trace_len <- t.trace_len + 1
   end
+  else t.trace_dropped <- t.trace_dropped + 1
 
 (* Time [f], accumulating under timer [name] and recording a trace span.
    Nested [span] calls record their depth, giving a poor man's trace tree. *)
@@ -111,33 +184,13 @@ let span t name f =
 let timer_total t name =
   match Hashtbl.find_opt t.timers name with Some tm -> tm.total_s | None -> 0.0
 
-(* ---- JSON emission (hand-rolled; keys sorted so output is stable) ------- *)
+let trace_dropped t = t.trace_dropped
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* ---- JSON emission (via Jsonu; keys sorted so output is stable) --------- *)
 
-let jstr s = "\"" ^ json_escape s ^ "\""
-
-let jfloat x =
-  if Float.is_integer x && Float.abs x < 1e15 then
-    Printf.sprintf "%.1f" x
-  else Printf.sprintf "%.6g" x
-
-let jobj fields =
-  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
+let jstr = Jsonu.jstr
+let jfloat = Jsonu.jfloat
+let jobj = Jsonu.jobj
 
 let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
@@ -148,6 +201,30 @@ let counters_json t =
 
 let gauges_json t =
   jobj (List.map (fun (k, r) -> (k, jfloat !r)) (sorted_bindings t.gauges))
+
+let hist_json h =
+  let buckets = ref [] in
+  for i = hist_bucket_count - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then
+      buckets :=
+        Printf.sprintf "[%d,%d]" (hist_bucket_lo i) h.h_buckets.(i) :: !buckets
+  done;
+  jobj
+    [
+      ("count", string_of_int h.h_count);
+      ("sum", string_of_int h.h_sum);
+      ("min", string_of_int (if h.h_count = 0 then 0 else h.h_min));
+      ("max", string_of_int (if h.h_count = 0 then 0 else h.h_max));
+      ("buckets", Jsonu.jarr !buckets);
+    ]
+
+(* Resolved-but-never-observed histograms (hot paths pre-resolve handles
+   even for runs that spawn nothing) are elided, not serialized empty. *)
+let hists_json t =
+  jobj
+    (List.filter_map
+       (fun (k, h) -> if h.h_count > 0 then Some (k, hist_json h) else None)
+       (sorted_bindings t.hists))
 
 let timers_json t =
   jobj
@@ -164,19 +241,17 @@ let timers_json t =
 
 let trace_json t =
   let spans = List.rev t.trace in
-  "["
-  ^ String.concat ","
-      (List.map
-         (fun sp ->
-           jobj
-             [
-               ("name", jstr sp.sp_name);
-               ("depth", string_of_int sp.sp_depth);
-               ("start_s", jfloat sp.sp_start_s);
-               ("dur_s", jfloat sp.sp_dur_s);
-             ])
-         spans)
-  ^ "]"
+  Jsonu.jarr
+    (List.map
+       (fun sp ->
+         jobj
+           [
+             ("name", jstr sp.sp_name);
+             ("depth", string_of_int sp.sp_depth);
+             ("start_s", jfloat sp.sp_start_s);
+             ("dur_s", jfloat sp.sp_dur_s);
+           ])
+       spans)
 
 let to_json t =
   jobj
@@ -184,8 +259,10 @@ let to_json t =
       ("label", jstr t.label);
       ("counters", counters_json t);
       ("gauges", gauges_json t);
+      ("hists", hists_json t);
       ("timers", timers_json t);
       ("trace", trace_json t);
+      ("trace_dropped", string_of_int t.trace_dropped);
     ]
 
 (* ---- Aggregation over a sweep ------------------------------------------- *)
@@ -215,8 +292,8 @@ let dist_json d =
     ]
 
 (* Aggregate many per-run sinks into one JSON object: counters and gauges
-   become sum/mean/min/max distributions keyed by name; timers sum their
-   totals and invocation counts. *)
+   become sum/mean/min/max distributions keyed by name; histograms merge
+   bucket-wise; timers sum their totals and invocation counts. *)
 let aggregate_json sinks =
   let cdists : (string, dist option ref) Hashtbl.t = Hashtbl.create 32 in
   let add tbl name v =
@@ -226,10 +303,41 @@ let aggregate_json sinks =
   in
   let gdists : (string, dist option ref) Hashtbl.t = Hashtbl.create 32 in
   let ttotals : (string, timer) Hashtbl.t = Hashtbl.create 8 in
+  let htotals : (string, hist) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun t ->
       Hashtbl.iter (fun k r -> add cdists k (float_of_int !r)) t.counters;
       Hashtbl.iter (fun k r -> add gdists k !r) t.gauges;
+      Hashtbl.iter
+        (fun k h ->
+          if h.h_count = 0 then ()  (* pre-resolved, never observed *)
+          else
+          let acc =
+            match Hashtbl.find_opt htotals k with
+            | Some acc -> acc
+            | None ->
+              let acc =
+                {
+                  h_count = 0;
+                  h_sum = 0;
+                  h_min = max_int;
+                  h_max = min_int;
+                  h_buckets = Array.make hist_bucket_count 0;
+                }
+              in
+              Hashtbl.replace htotals k acc;
+              acc
+          in
+          acc.h_count <- acc.h_count + h.h_count;
+          acc.h_sum <- acc.h_sum + h.h_sum;
+          if h.h_count > 0 then begin
+            if h.h_min < acc.h_min then acc.h_min <- h.h_min;
+            if h.h_max > acc.h_max then acc.h_max <- h.h_max
+          end;
+          Array.iteri
+            (fun i n -> acc.h_buckets.(i) <- acc.h_buckets.(i) + n)
+            h.h_buckets)
+        t.hists;
       Hashtbl.iter
         (fun k tm ->
           let acc =
@@ -256,6 +364,10 @@ let aggregate_json sinks =
       ("runs", string_of_int (List.length sinks));
       ("counters", dists_json cdists);
       ("gauges", dists_json gdists);
+      ( "hists",
+        jobj
+          (List.map (fun (k, h) -> (k, hist_json h)) (sorted_bindings htotals))
+      );
       ( "timers",
         jobj
           (List.map

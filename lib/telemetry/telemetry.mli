@@ -12,8 +12,11 @@
     { "label":    "<run label>",
       "counters": { "<name>": <int>, ... },
       "gauges":   { "<name>": <float>, ... },
+      "hists":    { "<name>": {"count":i, "sum":i, "min":i, "max":i,
+                               "buckets":[[<lo>,<count>], ...]}, ... },
       "timers":   { "<name>": {"total_s":f, "count":i, "max_s":f}, ... },
-      "trace":    [ {"name":s, "depth":i, "start_s":f, "dur_s":f}, ... ] }
+      "trace":    [ {"name":s, "depth":i, "start_s":f, "dur_s":f}, ... ],
+      "trace_dropped": <int> }
     v} *)
 
 type t
@@ -35,9 +38,34 @@ val gauge : t -> string -> float -> unit
 
 val gauge_value : t -> string -> float option
 
+(** [observe t name v] adds one observation to the log-bucketed histogram
+    [name]. Bucket 0 holds values [<= 0]; bucket [i >= 1] holds the range
+    [2^(i-1) .. 2^i - 1], so 63 buckets cover every non-negative int
+    including [max_int]. *)
+val observe : t -> string -> int -> unit
+
+(** A resolved histogram handle: {!hist} looks the name up (creating the
+    histogram if needed) once, and {!hist_observe} records through the
+    handle without re-hashing the name — for per-event hot paths. *)
+type hist
+
+val hist : t -> string -> hist
+val hist_observe : hist -> int -> unit
+
+(** Total observations recorded under histogram [name] (0 when absent). *)
+val hist_count : t -> string -> int
+
+(** Non-empty buckets of histogram [name] as [(range_lo, count)] pairs in
+    ascending range order; [[]] when the histogram was never observed. *)
+val hist_buckets : t -> string -> (int * int) list
+
 (** [span t name f] runs [f], accumulating its wall time under timer [name]
-    and appending a span (with nesting depth) to the bounded trace. *)
+    and appending a span (with nesting depth) to the bounded trace. Spans
+    past the trace bound are counted in {!trace_dropped} instead. *)
 val span : t -> string -> (unit -> 'a) -> 'a
+
+(** Spans elided because the bounded trace was full. *)
+val trace_dropped : t -> int
 
 (** Record an externally measured duration under timer [name]. *)
 val timer_record : t -> string -> float -> unit

@@ -13,6 +13,7 @@ let () =
       ("workloads", Test_workloads.tests);
       ("extensions", Test_extensions.tests);
       ("telemetry", Test_telemetry.tests);
+      ("recorder", Test_recorder.tests);
       ("parallel", Test_parallel.tests);
       ("more", Test_more.tests);
       ("cache-properties", Test_cache_props.tests);
