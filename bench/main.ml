@@ -193,10 +193,12 @@ let run_bechamel ~quota () =
 
    [bench_schema_version] stamps the file so downstream comparisons can tell
    layouts apart; bump it whenever a key is added, removed or re-meaninged.
-   Version 1 was the unstamped BENCH_PR2.json layout. *)
-let bench_schema_version = 2
+   Version 1 was the unstamped BENCH_PR2.json layout; version 3 added the
+   optional [sweep_wall_baseline_s] (the pre-change sweep wall, passed with
+   [--baseline] when regenerating after a performance change). *)
+let bench_schema_version = 3
 
-let write_json ~path ~sweep_wall_s ~jobs rows =
+let write_json ~path ~sweep_wall_s ~baseline ~jobs rows =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{";
   Buffer.add_string buf
@@ -210,7 +212,11 @@ let write_json ~path ~sweep_wall_s ~jobs rows =
       else Buffer.add_string buf (Printf.sprintf {|"%s":%.1f|} name ns))
     (List.sort compare rows);
   Buffer.add_string buf
-    (Printf.sprintf {|},"sweep_wall_s":%.3f}|} sweep_wall_s);
+    (Printf.sprintf {|},"sweep_wall_s":%.3f|} sweep_wall_s);
+  (match baseline with
+   | Some b -> Buffer.add_string buf (Printf.sprintf {|,"sweep_wall_baseline_s":%.3f|} b)
+   | None -> ());
+  Buffer.add_string buf "}";
   Buffer.add_char buf '\n';
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -221,10 +227,14 @@ let () =
   let json_path = ref "BENCH.json" in
   let smoke = ref false in
   let trace_dir = ref None in
+  let baseline = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: path :: rest ->
       json_path := path;
+      parse rest
+    | "--baseline" :: s :: rest ->
+      baseline := Some (float_of_string s);
       parse rest
     | "--smoke" :: rest ->
       smoke := true;
@@ -253,4 +263,4 @@ let () =
      Printf.eprintf "traces: %d runs -> %s\n%!" (List.length files) dir);
   let sweep_wall_s = Unix.gettimeofday () -. t0 in
   let rows = run_bechamel ~quota:(if !smoke then 0.1 else 0.4) () in
-  write_json ~path:!json_path ~sweep_wall_s ~jobs:1 rows
+  write_json ~path:!json_path ~sweep_wall_s ~baseline:!baseline ~jobs:1 rows

@@ -65,6 +65,15 @@ let telemetry_arg =
   Arg.(
     value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
 
+let selective_arg =
+  let doc =
+    "Run taken paths through the selective fast/slow interpreter split \
+     (coverage-preserving selective detection). Output is byte-identical \
+     either way; $(b,--selective=false) pins every run to the fully \
+     instrumented interpreter, for equivalence checks and timing baselines."
+  in
+  Arg.(value & opt bool true & info [ "selective" ] ~docv:"BOOL" ~doc)
+
 let trace_dir_arg =
   let doc =
     "Capture every run's flight-recorder trace (NT-Path lifecycle events in \
@@ -74,10 +83,11 @@ let trace_dir_arg =
   Arg.(
     value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
 
-let main list jobs telemetry trace_dir ids =
+let main list jobs telemetry selective trace_dir ids =
   if list then list_ids ()
   else begin
     Exp_common.set_jobs jobs;
+    Pe_config.set_selective_enabled selective;
     let run () =
       match ids with
       | [] -> Runner.run_all ()
@@ -114,7 +124,7 @@ let cmd =
   let info = Cmd.info "experiments" ~doc in
   Cmd.v info
     Term.(
-      const main $ list_arg $ jobs_arg $ telemetry_arg $ trace_dir_arg
-      $ ids_arg)
+      const main $ list_arg $ jobs_arg $ telemetry_arg $ selective_arg
+      $ trace_dir_arg $ ids_arg)
 
 let () = exit (Cmd.eval cmd)

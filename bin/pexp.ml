@@ -37,8 +37,8 @@ let termination_summary records =
     (count (fun r -> r.Nt_path.termination = Nt_path.T_program_end))
     (count (fun r -> r.Nt_path.termination = Nt_path.T_cache_overflow))
 
-let run_one ~app ~detector ~mode ~bug ~fixing ~seed ~random_input ~stats
-    ~disasm ~trace ~trace_chrome =
+let run_one ~app ~detector ~mode ~bug ~fixing ~selective ~seed ~random_input
+    ~stats ~disasm ~trace ~trace_chrome =
   let workload = Registry.find app in
   let compiled = Workload.compile ~detector ~fixing ?bug workload in
   if disasm then print_string (Program.disassemble compiled.Compile.program);
@@ -52,7 +52,7 @@ let run_one ~app ~detector ~mode ~bug ~fixing ~seed ~random_input ~stats
   in
   let machine = Machine.create ~input ~recorder compiled.Compile.program in
   let config =
-    { (Workload.pe_config ~mode workload) with Pe_config.fixing }
+    { (Workload.pe_config ~mode workload) with Pe_config.fixing; selective }
   in
   let result = Engine.run ~config machine in
   (* Flight-recorder exports before the human-readable report, so a crash in
@@ -85,7 +85,11 @@ let run_one ~app ~detector ~mode ~bug ~fixing ~seed ~random_input ~stats
   Printf.printf "branch coverage: %.1f%% taken-path, %.1f%% with NT-Paths\n"
     (Coverage.taken_pct result.Engine.coverage)
     (Coverage.combined_pct result.Engine.coverage);
-  if stats then termination_summary result.Engine.nt_records;
+  if stats then begin
+    termination_summary result.Engine.nt_records;
+    Printf.printf "selective fast tier: %d instructions in %d segments\n"
+      result.Engine.fast_insns result.Engine.fast_segments
+  end;
   let reports = machine.Machine.reports in
   Printf.printf "detector reports: %d (%d distinct sites)\n"
     (Report.count reports)
@@ -134,6 +138,14 @@ let bug_arg =
 let fixing_arg =
   Arg.(value & opt bool true & info [ "fixing" ] ~doc:"Consistency fixing on/off.")
 
+let selective_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "selective" ]
+        ~doc:
+          "Run the taken path through the selective fast/slow interpreter \
+           split (output is byte-identical either way).")
+
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Input generator seed.")
 
 let random_arg =
@@ -165,19 +177,19 @@ let trace_chrome_arg =
           "Like $(b,--trace) but in Chrome trace-event format (load in \
            Perfetto or chrome://tracing).")
 
-let main list app detector mode bug fixing seed random_input stats disasm
-    trace trace_chrome =
+let main list app detector mode bug fixing selective seed random_input stats
+    disasm trace trace_chrome =
   if list then list_apps ()
   else
-    run_one ~app ~detector ~mode ~bug ~fixing ~seed ~random_input ~stats
-      ~disasm ~trace ~trace_chrome
+    run_one ~app ~detector ~mode ~bug ~fixing ~selective ~seed ~random_input
+      ~stats ~disasm ~trace ~trace_chrome
 
 let cmd =
   let doc = "run a workload under a dynamic bug detector with PathExpander" in
   Cmd.v (Cmd.info "pexp" ~doc)
     Term.(
       const main $ list_arg $ app_arg $ detector_arg $ mode_arg $ bug_arg
-      $ fixing_arg $ seed_arg $ random_arg $ stats_arg $ disasm_arg
-      $ trace_arg $ trace_chrome_arg)
+      $ fixing_arg $ selective_arg $ seed_arg $ random_arg $ stats_arg
+      $ disasm_arg $ trace_arg $ trace_chrome_arg)
 
 let () = exit (Cmd.eval cmd)

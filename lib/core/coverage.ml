@@ -53,28 +53,28 @@ let create program =
     line_universe = Hashtbl.length distinct;
   }
 
-let in_universe cov pc =
+let[@inline always] in_universe cov pc =
   pc >= 0 && pc < Bytes.length cov.ubits && Bytes.unsafe_get cov.ubits pc = '\001'
 
-let edge_index pc direction = (2 * pc) + if direction then 1 else 0
+let[@inline always] edge_index pc direction = (2 * pc) + if direction then 1 else 0
 
 (* Called once per executed conditional branch — the hot recording path. *)
-let record_taken cov pc direction =
+let[@inline always] record_taken cov pc direction =
   if in_universe cov pc then
     Bytes.unsafe_set cov.taken (edge_index pc direction) '\001'
 
-let record_nt cov pc direction =
+let[@inline always] record_nt cov pc direction =
   if in_universe cov pc then
     Bytes.unsafe_set cov.nt (edge_index pc direction) '\001'
 
 (* Statement coverage: called once per retired instruction. *)
-let record_pc_taken cov pc =
+let[@inline always] record_pc_taken cov pc =
   if pc < Array.length cov.line_of then begin
     let line = cov.line_of.(pc) in
     if line > 0 then Bytes.unsafe_set cov.line_taken line '\001'
   end
 
-let record_pc_nt cov pc =
+let[@inline always] record_pc_nt cov pc =
   if pc < Array.length cov.line_of then begin
     let line = cov.line_of.(pc) in
     if line > 0 then Bytes.unsafe_set cov.line_nt line '\001'

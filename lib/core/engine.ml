@@ -31,6 +31,9 @@ type result = {
   skipped_spawns : int;
   profiled_overrides : int;
   coverage : Coverage.t;
+  fast_insns : int;
+      (* taken-path instructions retired on the selective fast tier *)
+  fast_segments : int;  (* fast segments executed (deoptimization count + 1) *)
 }
 
 let outcome_name = function
@@ -304,38 +307,118 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
         | Pe_config.Baseline -> ()
       end
   in
+  (* [CounterResetInterval] is defined over *program progress*
+     (Section 3.1), so the cadence follows the primary context's
+     retired-instruction count. [Machine.insn_index] also advances
+     inside sandboxed NT-Paths, which would tie the reset rate to how
+     many NT-Paths happened to spawn. *)
+  let maybe_reset () =
+    if
+      ctx.Context.stats.Context.insns - !last_reset
+      >= config.Pe_config.counter_reset_interval
+    then begin
+      Btb.reset_counters machine.Machine.btb;
+      Telemetry.incr tel "btb.counter_resets";
+      if Recorder.enabled recorder then begin
+        Recorder.set_local recorder ctx.Context.stats.Context.cycles;
+        Recorder.emit_counter_reset recorder
+          ~insns:ctx.Context.stats.Context.insns
+      end;
+      last_reset := ctx.Context.stats.Context.insns
+    end
+  in
+  (* Selective (fast/slow) execution. Some configurations take an action at
+     *every* branch that the fast tier deliberately omits — randomised
+     spawning draws the RNG per branch, profiled fixing observes the
+     condition variable per branch, spawn-everywhere makes every branch a
+     spawn. Rather than pinning those runs to the instrumented tier, force a
+     deoptimization at every branch: with [threshold = max_int] the fast
+     tier's [Btb.probe_exercise] reports every branch as a spawn candidate
+     (leaving the BTB untouched), so the straight-line stretches between
+     branches still run fast while every per-branch action — RNG draw,
+     observation, BTB traffic, spawn — happens on the instrumented tier in
+     the exact sequence the single-tier loop produces. Watchpoints and store
+     hooks are re-checked each iteration below because they come and go at
+     runtime. *)
+  let selective_ok = Pe_config.selective_on config in
+  let spawning =
+    (* Branches need the instrumented tier whenever they spawn (non-Baseline
+       modes) or observe condition-variable history (profiled fixing, which
+       observes in every mode). *)
+    config.Pe_config.mode <> Pe_config.Baseline
+    || config.Pe_config.profiled_fixing
+  in
+  let threshold =
+    if
+      config.Pe_config.random_spawn_chance > 0.0
+      || config.Pe_config.profiled_fixing
+      || config.Pe_config.spawn_everywhere
+    then max_int (* every branch deoptimizes *)
+    else config.Pe_config.nt_counter_threshold
+  in
+  let bits = Bitbuf.create ~capacity_bits:(1 lsl 16) () in
+  let fast_insns = ref 0 in
+  let fast_segments = ref 0 in
+  let fast_branch_bits = ref 0 in
   let rec loop () =
     if ctx.Context.stats.Context.insns >= fuel then `Fuel_exhausted
     else begin
-      (* [CounterResetInterval] is defined over *program progress*
-         (Section 3.1), so the cadence follows the primary context's
-         retired-instruction count. [Machine.insn_index] also advances
-         inside sandboxed NT-Paths, which would tie the reset rate to how
-         many NT-Paths happened to spawn. *)
+      maybe_reset ();
       if
-        ctx.Context.stats.Context.insns - !last_reset
-        >= config.Pe_config.counter_reset_interval
+        selective_ok
+        && Watchpoints.count machine.Machine.watch = 0
+        && machine.Machine.store_hook = None
       then begin
-        Btb.reset_counters machine.Machine.btb;
-        Telemetry.incr tel "btb.counter_resets";
-        if Recorder.enabled recorder then begin
-          Recorder.set_local recorder ctx.Context.stats.Context.cycles;
-          Recorder.emit_counter_reset recorder
-            ~insns:ctx.Context.stats.Context.insns
+        (* Segment budget: stop exactly at the fuel and counter-reset
+           boundaries, so both fire at the same retired-instruction counts
+           as the single-tier loop. Both differences are positive here (the
+           fuel check above, the reset just performed). *)
+        let insns = ctx.Context.stats.Context.insns in
+        let budget =
+          min (fuel - insns)
+            (!last_reset + config.Pe_config.counter_reset_interval - insns)
+        in
+        Bitbuf.clear bits;
+        let retired, fstop =
+          Fast_loop.run machine ctx coverage ~spawning ~threshold ~budget ~bits
+        in
+        if retired > 0 then begin
+          (* The fast tier bumped the context's stats itself; the global
+             retired-instruction index (report provenance) follows here. *)
+          machine.Machine.insn_index <- machine.Machine.insn_index + retired;
+          fast_insns := !fast_insns + retired;
+          fast_branch_bits := !fast_branch_bits + Bitbuf.length bits;
+          incr fast_segments
         end;
-        last_reset := ctx.Context.stats.Context.insns
-      end;
-      Coverage.record_pc_taken coverage ctx.Context.pc;
-      match Cpu.step machine ctx with
-      | Cpu.Ev_normal | Cpu.Ev_syscall _ -> loop ()
-      | Cpu.Ev_branch ->
-        handle_branch ~br_pc:ctx.Context.br_pc ~taken:ctx.Context.br_taken;
-        loop ()
-      | Cpu.Ev_exit status -> `Exited status
-      | Cpu.Ev_halt -> `Halted
-      | Cpu.Ev_fault f -> `Faulted f
-      | Cpu.Ev_overflow -> assert false (* primary context is not sandboxed *)
+        match fstop with
+        | Fast_loop.Budget -> loop ()
+        | Fast_loop.Special -> step_slow None
+        | Fast_loop.Special_branch predicted -> step_slow (Some predicted)
+      end
+      else step_slow None
     end
+  (* One instruction on the fully instrumented tier — the deoptimization
+     target for fast-segment stops, and the whole interpreter when selective
+     execution is off or inapplicable. *)
+  and step_slow predicted =
+    Coverage.record_pc_taken coverage ctx.Context.pc;
+    match Cpu.step machine ctx with
+    | Cpu.Ev_normal | Cpu.Ev_syscall _ -> loop ()
+    | Cpu.Ev_branch ->
+      (match predicted with
+       | Some p when p <> ctx.Context.br_taken ->
+         (* Both tiers evaluate the same compare on the same registers;
+            disagreement means an interpreter bug, not a program outcome. *)
+         failwith "Engine: selective fast tier diverged at a branch"
+       | _ -> ());
+      handle_branch ~br_pc:ctx.Context.br_pc ~taken:ctx.Context.br_taken;
+      loop ()
+    | Cpu.Ev_exit status -> `Exited status
+    | Cpu.Ev_halt -> `Halted
+    | Cpu.Ev_fault f -> `Faulted f
+    (* The primary context is never sandboxed, so no write of its can
+       overflow an L1 buffer; degrade to a fault if that ever changes. *)
+    | Cpu.Ev_overflow -> `Faulted Cpu.Sandbox_overflow
   in
   let outcome = Telemetry.span tel "engine.run" loop in
   let taken_cycles = ctx.Context.stats.Context.cycles in
@@ -353,6 +436,11 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
   Telemetry.count tel "engine.spawns" !spawns;
   Telemetry.count tel "engine.skipped_spawns" !skipped;
   Telemetry.count tel "engine.profiled_overrides" !overrides;
+  if !fast_insns > 0 then begin
+    Telemetry.count tel "selective.fast_insns" !fast_insns;
+    Telemetry.count tel "selective.segments" !fast_segments;
+    Telemetry.count tel "selective.fast_branch_bits" !fast_branch_bits
+  end;
   Telemetry.count tel "taken.insns" ctx.Context.stats.Context.insns;
   Telemetry.count tel "taken.branches" ctx.Context.stats.Context.branches;
   Telemetry.count tel "taken.cycles" taken_cycles;
@@ -390,4 +478,6 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
     skipped_spawns = !skipped;
     profiled_overrides = !overrides;
     coverage;
+    fast_insns = !fast_insns;
+    fast_segments = !fast_segments;
   }

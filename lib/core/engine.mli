@@ -24,6 +24,13 @@ type result = {
       (** spawns whose condition variable was fixed from observed history
           (the profiled-fixing extension) rather than by the boundary stub *)
   coverage : Coverage.t;
+  fast_insns : int;
+      (** taken-path instructions retired on the selective fast tier
+          ({!Fast_loop}); 0 when selective execution is off or inapplicable *)
+  fast_segments : int;
+      (** number of fast segments executed — each ends at a deoptimization
+          point (spawn-candidate branch, syscall, detector event, fault) or
+          a fuel/counter-reset boundary *)
 }
 
 val outcome_name : outcome -> string

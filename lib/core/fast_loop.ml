@@ -1,0 +1,526 @@
+(* The selective fast tier: a stripped interpreter for the taken path.
+
+   This is the engine's answer to detection bloat (coverage-preserving
+   selective instrumentation, as in HeXcite): the taken path runs here with
+   no detector hooks, no watchpoint probes, no store-hook dispatch, no
+   recorder branches and no per-instruction sandbox match — just registers,
+   memory, cache timing, coverage bits and the branch-direction log. The
+   moment an instruction needs any of the heavy machinery (a syscall, a
+   watch/unwatch, a detector check that would file a report, a fault, or a
+   branch whose cold-edge counter makes it a spawn candidate) the loop stops
+   *before* that instruction and the engine executes it on the fully
+   instrumented tier ([Cpu.step]). Deoptimization, not re-execution: no
+   instruction ever runs twice, so every observable — architectural state,
+   stats, cache/BTB contents, coverage, reports, recorder stream, program
+   output — is bit-for-bit what the instrumented tier alone would produce.
+
+   Correctness of the stop-before discipline rests on every case below
+   either (a) committing *exactly* the state transitions the instrumented
+   tier commits for that instruction, or (b) committing *nothing* and
+   stopping. The pre-checks make (b) possible without exceptions: memory
+   operands are validated with [Memory.is_valid] (the exact complement of
+   [Memory.check]'s raise condition) and divisors checked against zero
+   before any side effect.
+
+   Spawn-candidate detection probes the BTB side-effect-free
+   ([Btb.probe_exercise]). Within a fast segment a branch's forced-edge
+   counter is monotone non-decreasing (the engine only increments non-taken
+   edge counters when it spawns, and spawns only happen on the instrumented
+   tier), so probing possibly-stale counters is conservative: a branch may
+   deoptimize spuriously (the instrumented tier then decides for real), but
+   a spawn can never be missed. BTB misses always deoptimize for the same
+   reason — the insertion and its accounting belong to the instrumented
+   tier's [Btb.counts]/[Btb.exercise] pair; for exercised non-candidates
+   [Btb.probe_exercise] commits that pair's exact observable effect in the
+   same single associative search that tested the predicate.
+
+   Both loops are tail-recursive over plain integer state (pc and the five
+   stat deltas), so the per-instruction bookkeeping lives in registers; the
+   context's stats are updated once, at segment exit.
+
+   The engine guarantees before entry: the context is the primary (never
+   sandboxed, predicate false unless a fix block is somehow live), no
+   watchpoints are armed, no store hook is attached, and the configuration
+   has no per-branch randomness or profiling (checked in [Engine.run]). *)
+
+type stop =
+  | Budget  (** segment budget exhausted (fuel or counter-reset boundary) *)
+  | Special
+      (** the instruction at [ctx.pc] needs the instrumented tier; nothing
+          about it has been committed *)
+  | Special_branch of bool
+      (** like [Special] for a spawn-candidate conditional branch; carries
+          the fast tier's evaluation of the branch condition so the engine
+          can assert the two tiers agree *)
+
+(* Segment exit state: the final pc and the stat deltas accumulated in the
+   loop's registers, boxed once per segment. *)
+type exit_state = {
+  x_pc : int;
+  x_retired : int;
+  x_cycles : int;
+  x_loads : int;
+  x_stores : int;
+  x_branches : int;
+}
+
+let[@inline always] flush ctx st =
+  ctx.Context.pc <- st.x_pc;
+  let stats = ctx.Context.stats in
+  stats.Context.insns <- stats.Context.insns + st.x_retired;
+  stats.Context.cycles <- stats.Context.cycles + st.x_cycles;
+  stats.Context.loads <- stats.Context.loads + st.x_loads;
+  stats.Context.stores <- stats.Context.stores + st.x_stores;
+  stats.Context.branches <- stats.Context.branches + st.x_branches
+
+let run machine ctx coverage ~spawning ~threshold ~budget ~bits =
+  let dcode = machine.Machine.dcode in
+  let mem = machine.Machine.mem in
+  let words = mem.Memory.words in
+  let btb = machine.Machine.btb in
+  let regs = ctx.Context.regs in
+  let l1 = ctx.Context.l1 in
+  let code_len = Array.length dcode in
+  let[@inline always] latency ~write addr =
+    Machine.access_latency machine l1 ~owner:Cache.committed_owner ~write
+      ~speculative:false addr
+  in
+  (* [pc]..[br] are the live per-instruction state; every executed
+     instruction mirrors the instrumented tier's [Coverage.record_pc_taken]
+     (engine loop top) and the insns/cycles bump of [Cpu.step]. *)
+  let rec go pc n cyc ld st br =
+    if n >= budget then
+      ({ x_pc = pc; x_retired = n; x_cycles = cyc; x_loads = ld;
+         x_stores = st; x_branches = br }, Budget)
+    else if pc < 0 || pc >= code_len then special pc n cyc ld st br
+    else begin
+      match Array.unsafe_get dcode pc with
+      | Decode.D_alu (op, rd, rs, rt) ->
+        if rd <> 0 then
+          Array.unsafe_set regs rd
+            (Decode.eval_alu op (Array.unsafe_get regs rs)
+               (Array.unsafe_get regs rt));
+        Coverage.record_pc_taken coverage pc;
+        go (pc + 1) (n + 1) (cyc + 1) ld st br
+      | Decode.D_alui (op, rd, rs, imm) ->
+        if rd <> 0 then
+          Array.unsafe_set regs rd
+            (Decode.eval_alu op (Array.unsafe_get regs rs) imm);
+        Coverage.record_pc_taken coverage pc;
+        go (pc + 1) (n + 1) (cyc + 1) ld st br
+      | Decode.D_div (rd, rs, rt) ->
+        let b = Array.unsafe_get regs rt in
+        (* zero divisor: the instrumented tier faults (Div_by_zero) *)
+        if b = 0 then special pc n cyc ld st br
+        else begin
+          if rd <> 0 then
+            Array.unsafe_set regs rd (Array.unsafe_get regs rs / b);
+          Coverage.record_pc_taken coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1) ld st br
+        end
+      | Decode.D_mod (rd, rs, rt) ->
+        let b = Array.unsafe_get regs rt in
+        if b = 0 then special pc n cyc ld st br
+        else begin
+          if rd <> 0 then
+            Array.unsafe_set regs rd (Array.unsafe_get regs rs mod b);
+          Coverage.record_pc_taken coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1) ld st br
+        end
+      | Decode.D_divi (rd, rs, imm) ->
+        if imm = 0 then special pc n cyc ld st br
+        else begin
+          if rd <> 0 then
+            Array.unsafe_set regs rd (Array.unsafe_get regs rs / imm);
+          Coverage.record_pc_taken coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1) ld st br
+        end
+      | Decode.D_modi (rd, rs, imm) ->
+        if imm = 0 then special pc n cyc ld st br
+        else begin
+          if rd <> 0 then
+            Array.unsafe_set regs rd (Array.unsafe_get regs rs mod imm);
+          Coverage.record_pc_taken coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1) ld st br
+        end
+      | Decode.D_cmp (c, rd, rs, rt) ->
+        if rd <> 0 then
+          Array.unsafe_set regs rd
+            (if
+               Insn.eval_cmp c (Array.unsafe_get regs rs)
+                 (Array.unsafe_get regs rt)
+             then 1
+             else 0);
+        Coverage.record_pc_taken coverage pc;
+        go (pc + 1) (n + 1) (cyc + 1) ld st br
+      | Decode.D_cmpi (c, rd, rs, imm) ->
+        if rd <> 0 then
+          Array.unsafe_set regs rd
+            (if Insn.eval_cmp c (Array.unsafe_get regs rs) imm then 1 else 0);
+        Coverage.record_pc_taken coverage pc;
+        go (pc + 1) (n + 1) (cyc + 1) ld st br
+      | Decode.D_li (rd, imm) ->
+        if rd <> 0 then Array.unsafe_set regs rd imm;
+        Coverage.record_pc_taken coverage pc;
+        go (pc + 1) (n + 1) (cyc + 1) ld st br
+      | Decode.D_mov (rd, rs) ->
+        if rd <> 0 then Array.unsafe_set regs rd (Array.unsafe_get regs rs);
+        Coverage.record_pc_taken coverage pc;
+        go (pc + 1) (n + 1) (cyc + 1) ld st br
+      | Decode.D_load (rd, base, off) ->
+        let addr = Array.unsafe_get regs base + off in
+        if not (Memory.is_valid mem addr) then special pc n cyc ld st br
+        else begin
+          let lat = latency ~write:false addr in
+          if rd <> 0 then
+            Array.unsafe_set regs rd (Array.unsafe_get words addr);
+          Coverage.record_pc_taken coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1 + lat) (ld + 1) st br
+        end
+      | Decode.D_store (rs, base, off) ->
+        let addr = Array.unsafe_get regs base + off in
+        if not (Memory.is_valid mem addr) then special pc n cyc ld st br
+        else begin
+          let lat = latency ~write:true addr in
+          Memory.write_valid mem addr (Array.unsafe_get regs rs);
+          Coverage.record_pc_taken coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1 + lat) ld (st + 1) br
+        end
+      | Decode.D_br (c, rs, rt, target) ->
+        let taken =
+          Insn.eval_cmp c (Array.unsafe_get regs rs) (Array.unsafe_get regs rt)
+        in
+        (* One associative search both tests the spawn predicate and — for
+           rejected branches — commits the counts+exercise effect. A BTB
+           miss is always a candidate: the insertion and its accounting
+           belong to the instrumented tier. *)
+        if spawning && Btb.probe_exercise btb pc ~taken ~threshold then
+          ( { x_pc = pc; x_retired = n; x_cycles = cyc; x_loads = ld;
+              x_stores = st; x_branches = br },
+            Special_branch taken )
+        else begin
+          Bitbuf.push bits taken;
+          Coverage.record_taken coverage pc taken;
+          Coverage.record_pc_taken coverage pc;
+          go (if taken then target else pc + 1)
+            (n + 1) (cyc + 1) ld st (br + 1)
+        end
+      | Decode.D_jmp target ->
+        Coverage.record_pc_taken coverage pc;
+        go target (n + 1) (cyc + 1) ld st br
+      | Decode.D_call target ->
+        let sp = Array.unsafe_get regs Reg.sp - 1 in
+        if not (Memory.is_valid mem sp) then special pc n cyc ld st br
+        else begin
+          Array.unsafe_set regs Reg.sp sp;
+          let lat = latency ~write:true sp in
+          Memory.write_valid mem sp (pc + 1);
+          Coverage.record_pc_taken coverage pc;
+          go target (n + 1) (cyc + 1 + lat) ld (st + 1) br
+        end
+      | Decode.D_ret ->
+        let sp = Array.unsafe_get regs Reg.sp in
+        if not (Memory.is_valid mem sp) then special pc n cyc ld st br
+        else begin
+          let lat = latency ~write:false sp in
+          let ra = Array.unsafe_get words sp in
+          Array.unsafe_set regs Reg.sp (sp + 1);
+          Coverage.record_pc_taken coverage pc;
+          go ra (n + 1) (cyc + 1 + lat) (ld + 1) st br
+        end
+      | Decode.D_push rs ->
+        let sp = Array.unsafe_get regs Reg.sp - 1 in
+        if not (Memory.is_valid mem sp) then special pc n cyc ld st br
+        else begin
+          Array.unsafe_set regs Reg.sp sp;
+          let lat = latency ~write:true sp in
+          Memory.write_valid mem sp (Array.unsafe_get regs rs);
+          Coverage.record_pc_taken coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1 + lat) ld (st + 1) br
+        end
+      | Decode.D_pop rd ->
+        let sp = Array.unsafe_get regs Reg.sp in
+        if not (Memory.is_valid mem sp) then special pc n cyc ld st br
+        else begin
+          let lat = latency ~write:false sp in
+          let v = Array.unsafe_get words sp in
+          Array.unsafe_set regs Reg.sp (sp + 1);
+          if rd <> 0 then Array.unsafe_set regs rd v;
+          Coverage.record_pc_taken coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1 + lat) (ld + 1) st br
+        end
+      | Decode.D_checkz (rs, _site) ->
+        (* Passing check: no report, plain fallthrough. A zero value files a
+           report (detector machinery) — instrumented tier's job. *)
+        if Array.unsafe_get regs rs = 0 then special pc n cyc ld st br
+        else begin
+          Coverage.record_pc_taken coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1) ld st br
+        end
+      | Decode.D_pred _ ->
+        (* The primary context's predicate is false outside NT-Path fix
+           blocks, making this a fallthrough; a live predicate means a fix
+           block is executing and the instrumented tier must run it. *)
+        if ctx.Context.pred then special pc n cyc ld st br
+        else begin
+          Coverage.record_pc_taken coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1) ld st br
+        end
+      | Decode.D_clearpred ->
+        ctx.Context.pred <- false;
+        Coverage.record_pc_taken coverage pc;
+        go (pc + 1) (n + 1) (cyc + 1) ld st br
+      | Decode.D_nop ->
+        Coverage.record_pc_taken coverage pc;
+        go (pc + 1) (n + 1) (cyc + 1) ld st br
+      | Decode.D_syscall _ | Decode.D_watch _ | Decode.D_unwatch _
+      | Decode.D_halt ->
+        special pc n cyc ld st br
+    end
+  and special pc n cyc ld st br =
+    ( { x_pc = pc; x_retired = n; x_cycles = cyc; x_loads = ld; x_stores = st;
+        x_branches = br },
+      Special )
+  in
+  let st, stop = go ctx.Context.pc 0 0 0 0 0 in
+  flush ctx st;
+  (st.x_retired, stop)
+
+(* The NT-Path variant of the fast tier: same stop-before-special discipline,
+   but memory traffic goes through the path's sandbox (speculative cache
+   ownership, buffered writes), per-instruction coverage is the NT-Path kind,
+   inner branches follow the actual condition with no BTB traffic, and the
+   budget is [MaxNTPathLength]. One genuinely new case: a sandboxed store can
+   overflow the path's L1 line budget, which is only discoverable *by doing
+   the write* — the instrumented tier retires that instruction (stats and
+   latency charged, pc not advanced) and raises; [Nt_overflow] reproduces
+   exactly that committed state and lets {!Nt_path.run} terminate the path.
+
+   [Nt_path.run] guarantees before entry: the context is sandboxed in
+   [sandbox]; no watchpoints armed; no store hook; the configuration neither
+   forces cold edges inside NT-Paths ([follow_nontaken_in_nt]) nor is
+   excluded by the selective switches. *)
+
+type nt_stop =
+  | Nt_budget  (** [MaxNTPathLength] reached *)
+  | Nt_special
+      (** the instruction at [ctx.pc] needs the instrumented tier; nothing
+          about it has been committed *)
+  | Nt_overflow
+      (** a sandboxed store overflowed the path's L1 budget; the store
+          instruction has retired (stats, latency) with [ctx.pc] left on it,
+          exactly as the instrumented tier leaves it *)
+
+let run_nt machine ctx sandbox coverage ~deopt_branches ~budget =
+  let dcode = machine.Machine.dcode in
+  let mem = machine.Machine.mem in
+  let path_id = Context.sandbox_path_id sandbox in
+  let regs = ctx.Context.regs in
+  let l1 = ctx.Context.l1 in
+  let code_len = Array.length dcode in
+  let[@inline always] latency ~write addr =
+    Machine.access_latency machine l1 ~owner:path_id ~write ~speculative:true
+      addr
+  in
+  let rec go pc n cyc ld st br =
+    if n >= budget then
+      ({ x_pc = pc; x_retired = n; x_cycles = cyc; x_loads = ld;
+         x_stores = st; x_branches = br }, Nt_budget)
+    else if pc < 0 || pc >= code_len then special pc n cyc ld st br
+    else begin
+      match Array.unsafe_get dcode pc with
+      | Decode.D_alu (op, rd, rs, rt) ->
+        if rd <> 0 then
+          Array.unsafe_set regs rd
+            (Decode.eval_alu op (Array.unsafe_get regs rs)
+               (Array.unsafe_get regs rt));
+        Coverage.record_pc_nt coverage pc;
+        go (pc + 1) (n + 1) (cyc + 1) ld st br
+      | Decode.D_alui (op, rd, rs, imm) ->
+        if rd <> 0 then
+          Array.unsafe_set regs rd
+            (Decode.eval_alu op (Array.unsafe_get regs rs) imm);
+        Coverage.record_pc_nt coverage pc;
+        go (pc + 1) (n + 1) (cyc + 1) ld st br
+      | Decode.D_div (rd, rs, rt) ->
+        let b = Array.unsafe_get regs rt in
+        if b = 0 then special pc n cyc ld st br
+        else begin
+          if rd <> 0 then
+            Array.unsafe_set regs rd (Array.unsafe_get regs rs / b);
+          Coverage.record_pc_nt coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1) ld st br
+        end
+      | Decode.D_mod (rd, rs, rt) ->
+        let b = Array.unsafe_get regs rt in
+        if b = 0 then special pc n cyc ld st br
+        else begin
+          if rd <> 0 then
+            Array.unsafe_set regs rd (Array.unsafe_get regs rs mod b);
+          Coverage.record_pc_nt coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1) ld st br
+        end
+      | Decode.D_divi (rd, rs, imm) ->
+        if imm = 0 then special pc n cyc ld st br
+        else begin
+          if rd <> 0 then
+            Array.unsafe_set regs rd (Array.unsafe_get regs rs / imm);
+          Coverage.record_pc_nt coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1) ld st br
+        end
+      | Decode.D_modi (rd, rs, imm) ->
+        if imm = 0 then special pc n cyc ld st br
+        else begin
+          if rd <> 0 then
+            Array.unsafe_set regs rd (Array.unsafe_get regs rs mod imm);
+          Coverage.record_pc_nt coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1) ld st br
+        end
+      | Decode.D_cmp (c, rd, rs, rt) ->
+        if rd <> 0 then
+          Array.unsafe_set regs rd
+            (if
+               Insn.eval_cmp c (Array.unsafe_get regs rs)
+                 (Array.unsafe_get regs rt)
+             then 1
+             else 0);
+        Coverage.record_pc_nt coverage pc;
+        go (pc + 1) (n + 1) (cyc + 1) ld st br
+      | Decode.D_cmpi (c, rd, rs, imm) ->
+        if rd <> 0 then
+          Array.unsafe_set regs rd
+            (if Insn.eval_cmp c (Array.unsafe_get regs rs) imm then 1 else 0);
+        Coverage.record_pc_nt coverage pc;
+        go (pc + 1) (n + 1) (cyc + 1) ld st br
+      | Decode.D_li (rd, imm) ->
+        if rd <> 0 then Array.unsafe_set regs rd imm;
+        Coverage.record_pc_nt coverage pc;
+        go (pc + 1) (n + 1) (cyc + 1) ld st br
+      | Decode.D_mov (rd, rs) ->
+        if rd <> 0 then Array.unsafe_set regs rd (Array.unsafe_get regs rs);
+        Coverage.record_pc_nt coverage pc;
+        go (pc + 1) (n + 1) (cyc + 1) ld st br
+      | Decode.D_load (rd, base, off) ->
+        let addr = Array.unsafe_get regs base + off in
+        if not (Memory.is_valid mem addr) then special pc n cyc ld st br
+        else begin
+          let lat = latency ~write:false addr in
+          let v = Context.sandbox_read sandbox mem addr in
+          if rd <> 0 then Array.unsafe_set regs rd v;
+          Coverage.record_pc_nt coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1 + lat) (ld + 1) st br
+        end
+      | Decode.D_store (rs, base, off) ->
+        let addr = Array.unsafe_get regs base + off in
+        if not (Memory.is_valid mem addr) then special pc n cyc ld st br
+        else begin
+          let lat = latency ~write:true addr in
+          Coverage.record_pc_nt coverage pc;
+          if Context.sandbox_write sandbox mem addr (Array.unsafe_get regs rs)
+          then go (pc + 1) (n + 1) (cyc + 1 + lat) ld (st + 1) br
+          else
+            (* overflow: the store retires in place, pc not advanced *)
+            ( { x_pc = pc; x_retired = n + 1; x_cycles = cyc + 1 + lat;
+                x_loads = ld; x_stores = st + 1; x_branches = br },
+              Nt_overflow )
+        end
+      | Decode.D_br (c, rs, rt, target) ->
+        (* [deopt_branches] ([follow_nontaken_in_nt] ablation): edge
+           selection consults the BTB per inner branch — instrumented
+           tier's job; stop before the branch commits anything. *)
+        if deopt_branches then special pc n cyc ld st br
+        else begin
+          let taken =
+            Insn.eval_cmp c (Array.unsafe_get regs rs)
+              (Array.unsafe_get regs rt)
+          in
+          Coverage.record_nt coverage pc taken;
+          Coverage.record_pc_nt coverage pc;
+          go (if taken then target else pc + 1)
+            (n + 1) (cyc + 1) ld st (br + 1)
+        end
+      | Decode.D_jmp target ->
+        Coverage.record_pc_nt coverage pc;
+        go target (n + 1) (cyc + 1) ld st br
+      | Decode.D_call target ->
+        let sp = Array.unsafe_get regs Reg.sp - 1 in
+        if not (Memory.is_valid mem sp) then special pc n cyc ld st br
+        else begin
+          Array.unsafe_set regs Reg.sp sp;
+          let lat = latency ~write:true sp in
+          Coverage.record_pc_nt coverage pc;
+          if Context.sandbox_write sandbox mem sp (pc + 1) then
+            go target (n + 1) (cyc + 1 + lat) ld (st + 1) br
+          else
+            ( { x_pc = pc; x_retired = n + 1; x_cycles = cyc + 1 + lat;
+                x_loads = ld; x_stores = st + 1; x_branches = br },
+              Nt_overflow )
+        end
+      | Decode.D_ret ->
+        let sp = Array.unsafe_get regs Reg.sp in
+        if not (Memory.is_valid mem sp) then special pc n cyc ld st br
+        else begin
+          let lat = latency ~write:false sp in
+          let ra = Context.sandbox_read sandbox mem sp in
+          Array.unsafe_set regs Reg.sp (sp + 1);
+          Coverage.record_pc_nt coverage pc;
+          go ra (n + 1) (cyc + 1 + lat) (ld + 1) st br
+        end
+      | Decode.D_push rs ->
+        let sp = Array.unsafe_get regs Reg.sp - 1 in
+        if not (Memory.is_valid mem sp) then special pc n cyc ld st br
+        else begin
+          Array.unsafe_set regs Reg.sp sp;
+          let lat = latency ~write:true sp in
+          Coverage.record_pc_nt coverage pc;
+          if Context.sandbox_write sandbox mem sp (Array.unsafe_get regs rs)
+          then go (pc + 1) (n + 1) (cyc + 1 + lat) ld (st + 1) br
+          else
+            ( { x_pc = pc; x_retired = n + 1; x_cycles = cyc + 1 + lat;
+                x_loads = ld; x_stores = st + 1; x_branches = br },
+              Nt_overflow )
+        end
+      | Decode.D_pop rd ->
+        let sp = Array.unsafe_get regs Reg.sp in
+        if not (Memory.is_valid mem sp) then special pc n cyc ld st br
+        else begin
+          let lat = latency ~write:false sp in
+          let v = Context.sandbox_read sandbox mem sp in
+          Array.unsafe_set regs Reg.sp (sp + 1);
+          if rd <> 0 then Array.unsafe_set regs rd v;
+          Coverage.record_pc_nt coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1 + lat) (ld + 1) st br
+        end
+      | Decode.D_checkz (rs, _site) ->
+        if Array.unsafe_get regs rs = 0 then special pc n cyc ld st br
+        else begin
+          Coverage.record_pc_nt coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1) ld st br
+        end
+      | Decode.D_pred _ ->
+        (* Consistency-fix blocks (predicate live at path entry) run on the
+           instrumented tier; once [Clearpred] retires this is fallthrough. *)
+        if ctx.Context.pred then special pc n cyc ld st br
+        else begin
+          Coverage.record_pc_nt coverage pc;
+          go (pc + 1) (n + 1) (cyc + 1) ld st br
+        end
+      | Decode.D_clearpred ->
+        ctx.Context.pred <- false;
+        Coverage.record_pc_nt coverage pc;
+        go (pc + 1) (n + 1) (cyc + 1) ld st br
+      | Decode.D_nop ->
+        Coverage.record_pc_nt coverage pc;
+        go (pc + 1) (n + 1) (cyc + 1) ld st br
+      | Decode.D_syscall _ | Decode.D_watch _ | Decode.D_unwatch _
+      | Decode.D_halt ->
+        special pc n cyc ld st br
+    end
+  and special pc n cyc ld st br =
+    ( { x_pc = pc; x_retired = n; x_cycles = cyc; x_loads = ld; x_stores = st;
+        x_branches = br },
+      Nt_special )
+  in
+  let st, stop = go ctx.Context.pc 0 0 0 0 0 in
+  flush ctx st;
+  (st.x_retired, stop)

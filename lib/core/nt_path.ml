@@ -96,10 +96,41 @@ let run ?fix_override machine (config : Pe_config.t) coverage ~arena ~l1 ~regs
       true
     | Insn.Sys_exit -> false
   in
+  (* Selective fast tier inside the path. When the run forces cold edges at
+     inner branches ([follow_nontaken_in_nt], which needs per-branch BTB
+     counts), the fast tier deoptimizes at every branch instead of being
+     disabled — straight-line stretches stay fast. Watchpoints and the store
+     hook are rechecked every iteration — the path itself arms and disarms
+     them. *)
+  let fast_ok = Pe_config.selective_on config in
+  let deopt_branches = config.Pe_config.follow_nontaken_in_nt in
+  let fast_insns = ref 0 in
   let rec loop () =
     if ctx.Context.stats.Context.insns >= config.Pe_config.max_nt_path_length
     then T_max_length
-    else begin
+    else if
+      fast_ok
+      && Watchpoints.count machine.Machine.watch = 0
+      && machine.Machine.store_hook = None
+    then begin
+      let budget =
+        config.Pe_config.max_nt_path_length - ctx.Context.stats.Context.insns
+      in
+      let retired, fstop =
+        Fast_loop.run_nt machine ctx sandbox coverage ~deopt_branches ~budget
+      in
+      (* The fast tier bumped the context's stats; the global index (report
+         provenance) follows here, before any instrumented-tier report. *)
+      machine.Machine.insn_index <- machine.Machine.insn_index + retired;
+      fast_insns := !fast_insns + retired;
+      match fstop with
+      | Fast_loop.Nt_budget -> T_max_length
+      | Fast_loop.Nt_special -> step_slow ()
+      | Fast_loop.Nt_overflow -> T_cache_overflow
+    end
+    else step_slow ()
+  and step_slow () =
+    begin
       Coverage.record_pc_nt coverage ctx.Context.pc;
       match Cpu.step machine ctx with
       | Cpu.Ev_normal -> loop ()
@@ -127,7 +158,11 @@ let run ?fix_override machine (config : Pe_config.t) coverage ~arena ~l1 ~regs
           loop ()
         else T_unsafe sys
       | Cpu.Ev_halt -> T_program_end
-      | Cpu.Ev_exit _ -> assert false (* syscalls never execute sandboxed *)
+      (* [Cpu.exec] reports a sandboxed syscall as [Ev_syscall] *without*
+         executing it, so [Ev_exit] cannot be produced here (see the
+         sandboxed-syscall unit test). Treat a broken invariant as the
+         unsafe event it would have been, not a crash of the simulator. *)
+      | Cpu.Ev_exit _ -> T_unsafe Insn.Sys_exit
       | Cpu.Ev_fault fault -> T_crash fault
       | Cpu.Ev_overflow -> T_cache_overflow
     end
@@ -143,6 +178,7 @@ let run ?fix_override machine (config : Pe_config.t) coverage ~arena ~l1 ~regs
   let tel = machine.Machine.telemetry in
   Telemetry.incr tel ("nt.term." ^ termination_name termination);
   Telemetry.count tel "nt.insns" ctx.Context.stats.Context.insns;
+  if !fast_insns > 0 then Telemetry.count tel "nt.fast_insns" !fast_insns;
   Telemetry.count tel "nt.cycles" ctx.Context.stats.Context.cycles;
   Telemetry.count tel "nt.squashed_lines" squashed_lines;
   if Recorder.enabled recorder then begin

@@ -13,7 +13,19 @@ type t = {
   random_spawn_chance : float;
   random_seed : int;
   profiled_fixing : bool;
+  selective : bool;
 }
+
+(* Process-wide kill switch for selective (fast/slow split) execution, so a
+   single CLI flag can force every run in a sweep back onto the fully
+   instrumented interpreter without threading a parameter through each
+   experiment's config plumbing. Atomic: sweep workers on other domains read
+   it. Both this and the per-run [selective] field must be on. *)
+let selective_enabled = Atomic.make true
+
+let set_selective_enabled b = Atomic.set selective_enabled b
+
+let selective_on config = config.selective && Atomic.get selective_enabled
 
 (* Paper defaults (Section 6.3): threshold 5, 1000-instruction NT-Paths, 32
    outstanding NT-Paths for the CMP option. *)
@@ -31,6 +43,7 @@ let default =
     random_spawn_chance = 0.0;
     random_seed = 1;
     profiled_fixing = false;
+    selective = true;
   }
 
 let baseline = { default with mode = Baseline }

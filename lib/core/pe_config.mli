@@ -40,7 +40,26 @@ type t = {
           values from their observed history (value-invariant inference)
           when one satisfies the forced edge, falling back to the boundary
           stubs otherwise *)
+  selective : bool;
+      (** coverage-preserving selective detection (HeXcite-style): run the
+          taken path on the stripped fast interpreter tier, deoptimizing to
+          the fully instrumented tier exactly at spawn-candidate branches,
+          syscalls, detector checks, watch traffic and faults. Output is
+          byte-identical to non-selective execution. Configurations with a
+          per-branch action (random spawning, profiled fixing,
+          spawn-everywhere, the [follow_nontaken_in_nt] ablation)
+          deoptimize at every branch but keep straight-line code fast;
+          active watchpoints and store hooks pin execution to the
+          instrumented tier while they last. Default on. *)
 }
+
+(** Process-wide selective kill switch (CLI plumbing): when set to [false],
+    every run behaves as if [selective = false] regardless of its config. *)
+val set_selective_enabled : bool -> unit
+
+(** Is selective execution effective for [config] — its own flag AND the
+    process-wide switch. *)
+val selective_on : t -> bool
 
 val default : t
 val baseline : t

@@ -46,8 +46,8 @@ let eval_alu op a b =
   | Insn.And -> a land b
   | Insn.Or -> a lor b
   | Insn.Xor -> a lxor b
-  | Insn.Shl -> a lsl (b land 62)
-  | Insn.Shr -> a asr (b land 62)
+  | Insn.Shl -> a lsl (b land 63)
+  | Insn.Shr -> a asr (b land 63)
   | Insn.Div | Insn.Mod -> assert false
 
 let rec decode_insn insn =

@@ -78,8 +78,8 @@ let eval_binop op a b =
   | And -> Some (a land b)
   | Or -> Some (a lor b)
   | Xor -> Some (a lxor b)
-  | Shl -> Some (a lsl (b land 62))
-  | Shr -> Some (a asr (b land 62))
+  | Shl -> Some (a lsl (b land 63))
+  | Shr -> Some (a asr (b land 63))
 
 let eval_cmp c a b =
   match c with

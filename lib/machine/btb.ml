@@ -80,12 +80,71 @@ let entry_for btb pc =
     e.nontaken_count <- 0;
     e
 
+(* Side-effect-free counter read for the selective fast tier: no lookup
+   accounting, no LRU touch, no allocation on miss. The fast tier uses this
+   to decide whether a branch is a spawn candidate *before* committing any
+   BTB state change; a candidate (or a miss) deoptimizes to the instrumented
+   tier, which then performs the real [counts]/[exercise] sequence. *)
+let probe_counts btb pc =
+  match find btb pc with
+  | Some e -> Some (e.taken_count, e.nontaken_count)
+  | None -> None
+
 let exercise btb pc ~taken =
   let e = entry_for btb pc in
   btb.clock <- btb.clock + 1;
   e.lru <- btb.clock;
   if taken then e.taken_count <- min btb.counter_max (e.taken_count + 1)
   else e.nontaken_count <- min btb.counter_max (e.nontaken_count + 1)
+
+(* Fused [counts] + [exercise] with a single associative search, for the
+   selective fast tier's non-candidate branches. Must leave the BTB in the
+   exact observable state the two-call sequence would: same [lookups] and
+   [misses] accounting, same net [clock] advance (+2 on hit: one LRU touch
+   from the counts read, one from the exercise; +1 on miss: the counts read
+   of a missing entry does not touch the clock), same final LRU stamp and
+   counter values. *)
+let lookup_exercise btb pc ~taken =
+  btb.lookups <- btb.lookups + 1;
+  let e =
+    match find btb pc with
+    | Some e ->
+      btb.clock <- btb.clock + 2;
+      e
+    | None ->
+      btb.misses <- btb.misses + 1;
+      let e = victim btb pc in
+      e.valid <- true;
+      e.tag <- pc;
+      e.taken_count <- 0;
+      e.nontaken_count <- 0;
+      btb.clock <- btb.clock + 1;
+      e
+  in
+  e.lru <- btb.clock;
+  if taken then e.taken_count <- min btb.counter_max (e.taken_count + 1)
+  else e.nontaken_count <- min btb.counter_max (e.nontaken_count + 1)
+
+(* Single-search combination of the fast tier's candidate test and counter
+   update: equivalent to [probe_counts] followed — only when the branch is
+   not a spawn candidate — by [lookup_exercise]. Returns [true] (candidate:
+   BTB miss or forced-edge counter below [threshold]) leaving the BTB
+   untouched, so the instrumented tier replays the real sequence; or commits
+   [lookup_exercise]'s exact observable effect and returns [false]. *)
+let probe_exercise btb pc ~taken ~threshold =
+  match find btb pc with
+  | None -> true
+  | Some e ->
+    let forced = if taken then e.nontaken_count else e.taken_count in
+    if forced < threshold then true
+    else begin
+      btb.lookups <- btb.lookups + 1;
+      btb.clock <- btb.clock + 2;
+      e.lru <- btb.clock;
+      if taken then e.taken_count <- min btb.counter_max (e.taken_count + 1)
+      else e.nontaken_count <- min btb.counter_max (e.nontaken_count + 1);
+      false
+    end
 
 let reset_counters btb =
   Array.iter

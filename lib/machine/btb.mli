@@ -22,6 +22,27 @@ val counts : t -> int -> int * int
     counter, allocating an entry on miss (LRU victim within the set). *)
 val exercise : t -> int -> taken:bool -> unit
 
+(** Side-effect-free counter read: [(taken, nontaken)] counts if the branch
+    has a valid entry, [None] on a miss. Unlike {!counts} this performs no
+    lookup accounting and no LRU touch, so the selective fast tier can test
+    the spawn predicate before deciding whether to commit BTB state. *)
+val probe_counts : t -> int -> (int * int) option
+
+(** [lookup_exercise btb pc ~taken] is observationally identical to
+    [ignore (counts btb pc); exercise btb pc ~taken] — same lookup/miss
+    accounting, same net LRU-clock advance, same final entry state — but
+    with a single associative search. The fast tier uses it for branches the
+    spawn predicate rejected. *)
+val lookup_exercise : t -> int -> taken:bool -> unit
+
+(** [probe_exercise btb pc ~taken ~threshold] fuses the fast tier's spawn
+    test with the counter update in one associative search: returns [true]
+    — with the BTB untouched, as {!probe_counts} would leave it — when the
+    branch misses the BTB or its forced edge's counter is below [threshold]
+    (a spawn candidate, deferred to the instrumented tier); otherwise
+    commits exactly {!lookup_exercise}'s effect and returns [false]. *)
+val probe_exercise : t -> int -> taken:bool -> threshold:int -> bool
+
 (** Zero every counter ([CounterResetInterval] expiry). *)
 val reset_counters : t -> unit
 

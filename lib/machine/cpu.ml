@@ -2,6 +2,7 @@ type fault =
   | Mem_fault of Memory.fault
   | Div_by_zero
   | Bad_pc of int
+  | Sandbox_overflow
 
 (* [Ev_branch] carries no payload: the interpreter deposits the branch's pc,
    direction and taken-target in the context's [br_pc]/[br_taken]/[br_target]
@@ -20,6 +21,7 @@ let fault_to_string = function
   | Mem_fault f -> Memory.fault_to_string f
   | Div_by_zero -> "division by zero"
   | Bad_pc pc -> Printf.sprintf "bad pc %d" pc
+  | Sandbox_overflow -> "sandbox overflow outside a sandbox"
 
 exception Overflow
 
@@ -345,7 +347,11 @@ let run_baseline ?(fuel = 200_000_000) machine =
       | Ev_exit status -> `Exited status
       | Ev_halt -> `Halted
       | Ev_fault f -> `Faulted f
-      | Ev_overflow -> assert false
+      (* An unsandboxed context cannot buffer writes, so [data_write] never
+         raises [Overflow] here (see the Ev_overflow-unreachable tests). If
+         the invariant is ever broken, surface a fault instead of crashing
+         the whole simulator. *)
+      | Ev_overflow -> `Faulted Sandbox_overflow
   in
   let outcome = loop () in
   {

@@ -10,6 +10,10 @@ type fault =
   | Mem_fault of Memory.fault
   | Div_by_zero
   | Bad_pc of int
+  | Sandbox_overflow
+      (** an [Ev_overflow] reached a context that has no sandbox — provably
+          unreachable (only sandboxed writes can overflow); kept as a
+          graceful fault so a broken invariant degrades instead of crashing *)
 
 type event =
   | Ev_normal

@@ -92,13 +92,16 @@ let read mem addr =
   check mem addr;
   Array.unsafe_get mem.words addr
 
-let write mem addr value =
-  check mem addr;
+let[@inline always] write_valid mem addr value =
   Array.unsafe_set mem.words addr value;
   if addr < mem.stack_limit then begin
     if addr > mem.heap_hi then mem.heap_hi <- addr
   end
   else if addr < mem.stack_lo then mem.stack_lo <- addr
+
+let write mem addr value =
+  check mem addr;
+  write_valid mem addr value
 
 let is_valid mem addr = addr >= null_guard && addr < Array.length mem.words
 

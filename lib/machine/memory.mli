@@ -52,6 +52,12 @@ val read : t -> int -> int
 
 val write : t -> int -> int -> unit
 
+(** [write] minus the access check, for callers that have just established
+    [is_valid] (the selective fast tier validates operands *before*
+    committing an instruction). Same watermark maintenance. *)
+val write_valid : t -> int -> int -> unit
+
+(** Exactly the complement of {!check}'s raise condition. *)
 val is_valid : t -> int -> bool
 
 val fault_to_string : fault -> string

@@ -57,9 +57,14 @@ let run_nt_path machine (config : Pe_config.t) coverage ~ctx ~entry ~spawn_br_pc
         loop ()
       | Cpu.Ev_syscall sys -> Nt_path.T_unsafe sys
       | Cpu.Ev_halt -> Nt_path.T_program_end
-      | Cpu.Ev_exit _ -> assert false
       | Cpu.Ev_fault fault -> Nt_path.T_crash fault
-      | Cpu.Ev_overflow -> assert false (* restore-log sandboxes don't overflow *)
+      (* Sandboxed syscalls are reported without executing, so [Ev_exit] is
+         unreachable here; degrade to the unsafe event rather than crash. *)
+      | Cpu.Ev_exit _ -> Nt_path.T_unsafe Insn.Sys_exit
+      (* Write-log sandboxes are unbounded ([sandbox_write] always returns
+         true), so overflow is unreachable; treat it as the graceful
+         NT-Path termination cause if the invariant ever breaks. *)
+      | Cpu.Ev_overflow -> Nt_path.T_cache_overflow
     end
   in
   let termination = loop () in
@@ -131,7 +136,9 @@ let run ?(config = Pe_config.default) ?(model = Pin_model.default)
       | Cpu.Ev_exit status -> `Exited status
       | Cpu.Ev_halt -> `Halted
       | Cpu.Ev_fault f -> `Faulted f
-      | Cpu.Ev_overflow -> assert false
+      (* The taken-path context is outside any sandbox here, so overflow is
+         unreachable; fault gracefully instead of crashing. *)
+      | Cpu.Ev_overflow -> `Faulted Cpu.Sandbox_overflow
     end
   in
   let outcome = loop () in

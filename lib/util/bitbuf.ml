@@ -1,0 +1,37 @@
+(* Growable append-only bit buffer: the selective fast tier's per-segment
+   branch-direction log. One byte of storage per 8 branches; push is a mask
+   and an or-store, with a doubling grow off the hot path. *)
+
+type t = { mutable data : Bytes.t; mutable len : int }
+
+let create ?(capacity_bits = 1024) () =
+  { data = Bytes.make (max 1 ((capacity_bits + 7) / 8)) '\000'; len = 0 }
+
+let length t = t.len
+
+let clear t =
+  (* The push path or-s bits in, so live bytes must return to zero. Only the
+     bytes actually written since the last clear are touched. *)
+  if t.len > 0 then Bytes.fill t.data 0 ((t.len + 7) / 8) '\000';
+  t.len <- 0
+
+let grow t =
+  let data = Bytes.make (2 * Bytes.length t.data) '\000' in
+  Bytes.blit t.data 0 data 0 (Bytes.length t.data);
+  t.data <- data
+
+let[@inline always] push t bit =
+  let byte = t.len lsr 3 in
+  if byte >= Bytes.length t.data then grow t;
+  if bit then
+    Bytes.unsafe_set t.data byte
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get t.data byte) lor (1 lsl (t.len land 7))));
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitbuf.get";
+  Char.code (Bytes.get t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+(* Bits as a 0/1 string, oldest first — test and debug aid. *)
+let to_string t = String.init t.len (fun i -> if get t i then '1' else '0')

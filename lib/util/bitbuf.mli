@@ -1,0 +1,24 @@
+(** Growable append-only bit buffer.
+
+    Used by the selective (fast-tier) interpreter to log the taken path's
+    branch-direction bitstream per segment: one bit per executed conditional
+    branch, in execution order. *)
+
+type t
+
+val create : ?capacity_bits:int -> unit -> t
+
+(** Number of bits pushed since the last [clear]. *)
+val length : t -> int
+
+(** Reset to empty; storage is retained and re-zeroed over the live prefix,
+    so a pooled buffer's clear is O(bits since last clear). *)
+val clear : t -> unit
+
+val push : t -> bool -> unit
+
+(** [get t i] is the [i]-th pushed bit (oldest first). *)
+val get : t -> int -> bool
+
+(** The bits as a ['0']/['1'] string, oldest first. *)
+val to_string : t -> string

@@ -16,6 +16,7 @@ let () =
       ("recorder", Test_recorder.tests);
       ("parallel", Test_parallel.tests);
       ("more", Test_more.tests);
+      ("selective", Test_selective.tests);
       ("cache-properties", Test_cache_props.tests);
       ("properties", Test_props.tests);
     ]
