@@ -67,27 +67,35 @@ let[@inline always] record_nt cov pc direction =
   if in_universe cov pc then
     Bytes.unsafe_set cov.nt (edge_index pc direction) '\001'
 
-(* Statement coverage: called once per retired instruction. *)
+(* Statement coverage: called once per retired instruction, so the store is
+   unconditional — runtime code maps to line 0, whose bitmap slot is a
+   sentinel sink the percentage readers below skip. [line_of] has exactly
+   one slot per pc (see [create]), so the caller's pc range check covers
+   the unsafe read. *)
 let[@inline always] record_pc_taken cov pc =
-  if pc < Array.length cov.line_of then begin
-    let line = cov.line_of.(pc) in
-    if line > 0 then Bytes.unsafe_set cov.line_taken line '\001'
-  end
+  if pc >= 0 && pc < Array.length cov.line_of then
+    Bytes.unsafe_set cov.line_taken (Array.unsafe_get cov.line_of pc) '\001'
 
 let[@inline always] record_pc_nt cov pc =
-  if pc < Array.length cov.line_of then begin
-    let line = cov.line_of.(pc) in
-    if line > 0 then Bytes.unsafe_set cov.line_nt line '\001'
-  end
+  if pc >= 0 && pc < Array.length cov.line_of then
+    Bytes.unsafe_set cov.line_nt (Array.unsafe_get cov.line_of pc) '\001'
 
 let count_lines bytes = Bytes.fold_left (fun acc c -> if c = '\001' then acc + 1 else acc) 0 bytes
 
+(* Line bitmaps only: slot 0 is the runtime-code sentinel, never a line. *)
+let count_marked_lines bytes =
+  let n = ref 0 in
+  for i = 1 to Bytes.length bytes - 1 do
+    if Bytes.get bytes i = '\001' then incr n
+  done;
+  !n
+
 let stmt_taken_pct cov =
-  Stats.pct ~num:(count_lines cov.line_taken) ~den:cov.line_universe
+  Stats.pct ~num:(count_marked_lines cov.line_taken) ~den:cov.line_universe
 
 let stmt_combined_pct cov =
   let combined = ref 0 in
-  for i = 0 to Bytes.length cov.line_taken - 1 do
+  for i = 1 to Bytes.length cov.line_taken - 1 do
     if Bytes.get cov.line_taken i = '\001' || Bytes.get cov.line_nt i = '\001'
     then incr combined
   done;

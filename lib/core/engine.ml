@@ -357,6 +357,10 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
     else config.Pe_config.nt_counter_threshold
   in
   let bits = Bitbuf.create ~capacity_bits:(1 lsl 16) () in
+  (* One fast-tier handle for the whole run: segments then allocate
+     nothing (closures, branch log and exit flushing all live in the
+     handle — see Fast_loop). *)
+  let fl = Fast_loop.make machine ctx coverage ~bits in
   let fast_insns = ref 0 in
   let fast_segments = ref 0 in
   let fast_branch_bits = ref 0 in
@@ -366,8 +370,10 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
       maybe_reset ();
       if
         selective_ok
-        && Watchpoints.count machine.Machine.watch = 0
-        && machine.Machine.store_hook = None
+        && Watchpoints.is_empty machine.Machine.watch
+        && (match machine.Machine.store_hook with
+           | None -> true
+           | Some _ -> false)
       then begin
         (* Segment budget: stop exactly at the fuel and counter-reset
            boundaries, so both fire at the same retired-instruction counts
@@ -379,9 +385,8 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
             (!last_reset + config.Pe_config.counter_reset_interval - insns)
         in
         Bitbuf.clear bits;
-        let retired, fstop =
-          Fast_loop.run machine ctx coverage ~spawning ~threshold ~budget ~bits
-        in
+        let fstop = Fast_loop.run fl ~spawning ~threshold ~budget in
+        let retired = Fast_loop.retired fl in
         if retired > 0 then begin
           (* The fast tier bumped the context's stats itself; the global
              retired-instruction index (report provenance) follows here. *)
@@ -392,25 +397,27 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
         end;
         match fstop with
         | Fast_loop.Budget -> loop ()
-        | Fast_loop.Special -> step_slow None
-        | Fast_loop.Special_branch predicted -> step_slow (Some predicted)
+        | Fast_loop.Special -> step_slow (-1)
+        | Fast_loop.Special_branch_taken -> step_slow 1
+        | Fast_loop.Special_branch_nontaken -> step_slow 0
       end
-      else step_slow None
+      else step_slow (-1)
     end
   (* One instruction on the fully instrumented tier — the deoptimization
      target for fast-segment stops, and the whole interpreter when selective
-     execution is off or inapplicable. *)
+     execution is off or inapplicable. [predicted] is the fast tier's
+     evaluation of a spawn-candidate branch's condition (1 taken,
+     0 not taken, -1 none) — an int, not a bool option, so per-step calls
+     allocate nothing. *)
   and step_slow predicted =
     Coverage.record_pc_taken coverage ctx.Context.pc;
     match Cpu.step machine ctx with
     | Cpu.Ev_normal | Cpu.Ev_syscall _ -> loop ()
     | Cpu.Ev_branch ->
-      (match predicted with
-       | Some p when p <> ctx.Context.br_taken ->
-         (* Both tiers evaluate the same compare on the same registers;
-            disagreement means an interpreter bug, not a program outcome. *)
-         failwith "Engine: selective fast tier diverged at a branch"
-       | _ -> ());
+      if predicted >= 0 && (predicted = 1) <> ctx.Context.br_taken then
+        (* Both tiers evaluate the same compare on the same registers;
+           disagreement means an interpreter bug, not a program outcome. *)
+        failwith "Engine: selective fast tier diverged at a branch";
       handle_branch ~br_pc:ctx.Context.br_pc ~taken:ctx.Context.br_taken;
       loop ()
     | Cpu.Ev_exit status -> `Exited status

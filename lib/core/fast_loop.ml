@@ -38,6 +38,20 @@
    stat deltas), so the per-instruction bookkeeping lives in registers; the
    context's stats are updated once, at segment exit.
 
+   Performance structure: the handle is a flat mutable record and the
+   interpreter loops are *top-level* recursive functions over it. Keeping
+   the loops (and their helpers) at top level matters twice over, without
+   flambda: a segment call allocates nothing (per-call parameters are
+   record stores, exit state flushes straight into the context, every
+   [stop]/[nt_stop] constructor is constant), and every call in the
+   per-instruction path — the recursive step, the latency probe, the
+   coverage/BTB/sandbox hooks — is a known direct call. The closure-tree
+   variant of this file cost both ways: per-segment closure records
+   (~300M minor words per sweep; NT-Paths deoptimize at every watch, check
+   and virtualised syscall) and, worse, helpers captured from an enclosing
+   closure compile to unknown-function applications (the caml_apply
+   helpers) on every instruction.
+
    The engine guarantees before entry: the context is the primary (never
    sandboxed, predicate false unless a fix block is somehow live), no
    watchpoints are armed, no store hook is attached, and the configuration
@@ -48,243 +62,290 @@ type stop =
   | Special
       (** the instruction at [ctx.pc] needs the instrumented tier; nothing
           about it has been committed *)
-  | Special_branch of bool
-      (** like [Special] for a spawn-candidate conditional branch; carries
-          the fast tier's evaluation of the branch condition so the engine
-          can assert the two tiers agree *)
+  | Special_branch_taken
+      (** a spawn-candidate conditional branch whose condition the fast tier
+          evaluated as taken (cross-checked against the instrumented tier) *)
+  | Special_branch_nontaken
+      (** like [Special_branch_taken], condition evaluated as not taken *)
 
-(* Segment exit state: the final pc and the stat deltas accumulated in the
-   loop's registers, boxed once per segment. *)
-type exit_state = {
-  x_pc : int;
-  x_retired : int;
-  x_cycles : int;
-  x_loads : int;
-  x_stores : int;
-  x_branches : int;
+type t = {
+  machine : Machine.t;
+  ctx : Context.t;
+  coverage : Coverage.t;
+  bits : Bitbuf.t;
+  dcode : Decode.t array;
+  mem : Memory.t;
+  words : int array;
+  btb : Btb.t;
+  regs : int array;
+  l1 : Cache.t;
+  code_len : int;
+  (* per-segment parameters and results *)
+  mutable spawning : bool;
+  mutable threshold : int;
+  mutable budget : int;
+  mutable retired : int;
+  mutable memo_hits : int;
+      (* batched latency accounting (DESIGN.md §13): accesses the cache's
+         MRU memo answers are L1 hits with zero stall cycles and no cache
+         state change, counted here and flushed to the hit counter once per
+         segment, mirroring how the stat deltas flush *)
 }
 
-let[@inline always] flush ctx st =
-  ctx.Context.pc <- st.x_pc;
-  let stats = ctx.Context.stats in
-  stats.Context.insns <- stats.Context.insns + st.x_retired;
-  stats.Context.cycles <- stats.Context.cycles + st.x_cycles;
-  stats.Context.loads <- stats.Context.loads + st.x_loads;
-  stats.Context.stores <- stats.Context.stores + st.x_stores;
-  stats.Context.branches <- stats.Context.branches + st.x_branches
-
-let run machine ctx coverage ~spawning ~threshold ~budget ~bits =
-  let dcode = machine.Machine.dcode in
-  let mem = machine.Machine.mem in
-  let words = mem.Memory.words in
-  let btb = machine.Machine.btb in
-  let regs = ctx.Context.regs in
-  let l1 = ctx.Context.l1 in
-  let code_len = Array.length dcode in
-  let[@inline always] latency ~write addr =
-    Machine.access_latency machine l1 ~owner:Cache.committed_owner ~write
+let[@inline always] latency t ~write addr =
+  if Cache.memo_probe t.l1 addr ~owner:Cache.committed_owner ~write then begin
+    t.memo_hits <- t.memo_hits + 1;
+    0
+  end
+  else
+    Machine.access_latency t.machine t.l1 ~owner:Cache.committed_owner ~write
       ~speculative:false addr
-  in
-  (* [pc]..[br] are the live per-instruction state; every executed
-     instruction mirrors the instrumented tier's [Coverage.record_pc_taken]
-     (engine loop top) and the insns/cycles bump of [Cpu.step]. *)
-  let rec go pc n cyc ld st br =
-    if n >= budget then
-      ({ x_pc = pc; x_retired = n; x_cycles = cyc; x_loads = ld;
-         x_stores = st; x_branches = br }, Budget)
-    else if pc < 0 || pc >= code_len then special pc n cyc ld st br
-    else begin
-      match Array.unsafe_get dcode pc with
-      | Decode.D_alu (op, rd, rs, rt) ->
+
+(* Segment exit: final pc into the context, the stat deltas accumulated in
+   the loop's registers onto its counters, the retired count into the
+   handle — no exit record. *)
+let[@inline always] finish t pc n cyc ld st br =
+  t.ctx.Context.pc <- pc;
+  let stats = t.ctx.Context.stats in
+  stats.Context.insns <- stats.Context.insns + n;
+  stats.Context.cycles <- stats.Context.cycles + cyc;
+  stats.Context.loads <- stats.Context.loads + ld;
+  stats.Context.stores <- stats.Context.stores + st;
+  stats.Context.branches <- stats.Context.branches + br;
+  t.retired <- n
+
+(* [pc]..[br] are the live per-instruction state; every executed
+   instruction mirrors the instrumented tier's [Coverage.record_pc_taken]
+   (engine loop top) and the insns/cycles bump of [Cpu.step]. *)
+let rec go t pc n cyc ld st br =
+  if n >= t.budget then begin
+    finish t pc n cyc ld st br;
+    Budget
+  end
+  else if pc < 0 || pc >= t.code_len then special t pc n cyc ld st br
+  else begin
+    let regs = t.regs in
+    match Array.unsafe_get t.dcode pc with
+    | Decode.D_alu (op, rd, rs, rt) ->
+      if rd <> 0 then
+        Array.unsafe_set regs rd
+          (Decode.eval_alu op (Array.unsafe_get regs rs)
+             (Array.unsafe_get regs rt));
+      Coverage.record_pc_taken t.coverage pc;
+      go t (pc + 1) (n + 1) (cyc + 1) ld st br
+    | Decode.D_alui (op, rd, rs, imm) ->
+      if rd <> 0 then
+        Array.unsafe_set regs rd
+          (Decode.eval_alu op (Array.unsafe_get regs rs) imm);
+      Coverage.record_pc_taken t.coverage pc;
+      go t (pc + 1) (n + 1) (cyc + 1) ld st br
+    | Decode.D_div (rd, rs, rt) ->
+      let b = Array.unsafe_get regs rt in
+      (* zero divisor: the instrumented tier faults (Div_by_zero) *)
+      if b = 0 then special t pc n cyc ld st br
+      else begin
         if rd <> 0 then
-          Array.unsafe_set regs rd
-            (Decode.eval_alu op (Array.unsafe_get regs rs)
-               (Array.unsafe_get regs rt));
-        Coverage.record_pc_taken coverage pc;
-        go (pc + 1) (n + 1) (cyc + 1) ld st br
-      | Decode.D_alui (op, rd, rs, imm) ->
+          Array.unsafe_set regs rd (Array.unsafe_get regs rs / b);
+        Coverage.record_pc_taken t.coverage pc;
+        go t (pc + 1) (n + 1) (cyc + 1) ld st br
+      end
+    | Decode.D_mod (rd, rs, rt) ->
+      let b = Array.unsafe_get regs rt in
+      if b = 0 then special t pc n cyc ld st br
+      else begin
         if rd <> 0 then
-          Array.unsafe_set regs rd
-            (Decode.eval_alu op (Array.unsafe_get regs rs) imm);
-        Coverage.record_pc_taken coverage pc;
-        go (pc + 1) (n + 1) (cyc + 1) ld st br
-      | Decode.D_div (rd, rs, rt) ->
-        let b = Array.unsafe_get regs rt in
-        (* zero divisor: the instrumented tier faults (Div_by_zero) *)
-        if b = 0 then special pc n cyc ld st br
-        else begin
-          if rd <> 0 then
-            Array.unsafe_set regs rd (Array.unsafe_get regs rs / b);
-          Coverage.record_pc_taken coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1) ld st br
-        end
-      | Decode.D_mod (rd, rs, rt) ->
-        let b = Array.unsafe_get regs rt in
-        if b = 0 then special pc n cyc ld st br
-        else begin
-          if rd <> 0 then
-            Array.unsafe_set regs rd (Array.unsafe_get regs rs mod b);
-          Coverage.record_pc_taken coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1) ld st br
-        end
-      | Decode.D_divi (rd, rs, imm) ->
-        if imm = 0 then special pc n cyc ld st br
-        else begin
-          if rd <> 0 then
-            Array.unsafe_set regs rd (Array.unsafe_get regs rs / imm);
-          Coverage.record_pc_taken coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1) ld st br
-        end
-      | Decode.D_modi (rd, rs, imm) ->
-        if imm = 0 then special pc n cyc ld st br
-        else begin
-          if rd <> 0 then
-            Array.unsafe_set regs rd (Array.unsafe_get regs rs mod imm);
-          Coverage.record_pc_taken coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1) ld st br
-        end
-      | Decode.D_cmp (c, rd, rs, rt) ->
+          Array.unsafe_set regs rd (Array.unsafe_get regs rs mod b);
+        Coverage.record_pc_taken t.coverage pc;
+        go t (pc + 1) (n + 1) (cyc + 1) ld st br
+      end
+    | Decode.D_divi (rd, rs, imm) ->
+      if imm = 0 then special t pc n cyc ld st br
+      else begin
         if rd <> 0 then
-          Array.unsafe_set regs rd
-            (if
-               Insn.eval_cmp c (Array.unsafe_get regs rs)
-                 (Array.unsafe_get regs rt)
-             then 1
-             else 0);
-        Coverage.record_pc_taken coverage pc;
-        go (pc + 1) (n + 1) (cyc + 1) ld st br
-      | Decode.D_cmpi (c, rd, rs, imm) ->
+          Array.unsafe_set regs rd (Array.unsafe_get regs rs / imm);
+        Coverage.record_pc_taken t.coverage pc;
+        go t (pc + 1) (n + 1) (cyc + 1) ld st br
+      end
+    | Decode.D_modi (rd, rs, imm) ->
+      if imm = 0 then special t pc n cyc ld st br
+      else begin
         if rd <> 0 then
-          Array.unsafe_set regs rd
-            (if Insn.eval_cmp c (Array.unsafe_get regs rs) imm then 1 else 0);
-        Coverage.record_pc_taken coverage pc;
-        go (pc + 1) (n + 1) (cyc + 1) ld st br
-      | Decode.D_li (rd, imm) ->
-        if rd <> 0 then Array.unsafe_set regs rd imm;
-        Coverage.record_pc_taken coverage pc;
-        go (pc + 1) (n + 1) (cyc + 1) ld st br
-      | Decode.D_mov (rd, rs) ->
-        if rd <> 0 then Array.unsafe_set regs rd (Array.unsafe_get regs rs);
-        Coverage.record_pc_taken coverage pc;
-        go (pc + 1) (n + 1) (cyc + 1) ld st br
-      | Decode.D_load (rd, base, off) ->
-        let addr = Array.unsafe_get regs base + off in
-        if not (Memory.is_valid mem addr) then special pc n cyc ld st br
-        else begin
-          let lat = latency ~write:false addr in
-          if rd <> 0 then
-            Array.unsafe_set regs rd (Array.unsafe_get words addr);
-          Coverage.record_pc_taken coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1 + lat) (ld + 1) st br
-        end
-      | Decode.D_store (rs, base, off) ->
-        let addr = Array.unsafe_get regs base + off in
-        if not (Memory.is_valid mem addr) then special pc n cyc ld st br
-        else begin
-          let lat = latency ~write:true addr in
-          Memory.write_valid mem addr (Array.unsafe_get regs rs);
-          Coverage.record_pc_taken coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1 + lat) ld (st + 1) br
-        end
-      | Decode.D_br (c, rs, rt, target) ->
-        let taken =
-          Insn.eval_cmp c (Array.unsafe_get regs rs) (Array.unsafe_get regs rt)
-        in
-        (* One associative search both tests the spawn predicate and — for
-           rejected branches — commits the counts+exercise effect. A BTB
-           miss is always a candidate: the insertion and its accounting
-           belong to the instrumented tier. *)
-        if spawning && Btb.probe_exercise btb pc ~taken ~threshold then
-          ( { x_pc = pc; x_retired = n; x_cycles = cyc; x_loads = ld;
-              x_stores = st; x_branches = br },
-            Special_branch taken )
-        else begin
-          Bitbuf.push bits taken;
-          Coverage.record_taken coverage pc taken;
-          Coverage.record_pc_taken coverage pc;
-          go (if taken then target else pc + 1)
-            (n + 1) (cyc + 1) ld st (br + 1)
-        end
-      | Decode.D_jmp target ->
-        Coverage.record_pc_taken coverage pc;
-        go target (n + 1) (cyc + 1) ld st br
-      | Decode.D_call target ->
-        let sp = Array.unsafe_get regs Reg.sp - 1 in
-        if not (Memory.is_valid mem sp) then special pc n cyc ld st br
-        else begin
-          Array.unsafe_set regs Reg.sp sp;
-          let lat = latency ~write:true sp in
-          Memory.write_valid mem sp (pc + 1);
-          Coverage.record_pc_taken coverage pc;
-          go target (n + 1) (cyc + 1 + lat) ld (st + 1) br
-        end
-      | Decode.D_ret ->
-        let sp = Array.unsafe_get regs Reg.sp in
-        if not (Memory.is_valid mem sp) then special pc n cyc ld st br
-        else begin
-          let lat = latency ~write:false sp in
-          let ra = Array.unsafe_get words sp in
-          Array.unsafe_set regs Reg.sp (sp + 1);
-          Coverage.record_pc_taken coverage pc;
-          go ra (n + 1) (cyc + 1 + lat) (ld + 1) st br
-        end
-      | Decode.D_push rs ->
-        let sp = Array.unsafe_get regs Reg.sp - 1 in
-        if not (Memory.is_valid mem sp) then special pc n cyc ld st br
-        else begin
-          Array.unsafe_set regs Reg.sp sp;
-          let lat = latency ~write:true sp in
-          Memory.write_valid mem sp (Array.unsafe_get regs rs);
-          Coverage.record_pc_taken coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1 + lat) ld (st + 1) br
-        end
-      | Decode.D_pop rd ->
-        let sp = Array.unsafe_get regs Reg.sp in
-        if not (Memory.is_valid mem sp) then special pc n cyc ld st br
-        else begin
-          let lat = latency ~write:false sp in
-          let v = Array.unsafe_get words sp in
-          Array.unsafe_set regs Reg.sp (sp + 1);
-          if rd <> 0 then Array.unsafe_set regs rd v;
-          Coverage.record_pc_taken coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1 + lat) (ld + 1) st br
-        end
-      | Decode.D_checkz (rs, _site) ->
-        (* Passing check: no report, plain fallthrough. A zero value files a
-           report (detector machinery) — instrumented tier's job. *)
-        if Array.unsafe_get regs rs = 0 then special pc n cyc ld st br
-        else begin
-          Coverage.record_pc_taken coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1) ld st br
-        end
-      | Decode.D_pred _ ->
-        (* The primary context's predicate is false outside NT-Path fix
-           blocks, making this a fallthrough; a live predicate means a fix
-           block is executing and the instrumented tier must run it. *)
-        if ctx.Context.pred then special pc n cyc ld st br
-        else begin
-          Coverage.record_pc_taken coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1) ld st br
-        end
-      | Decode.D_clearpred ->
-        ctx.Context.pred <- false;
-        Coverage.record_pc_taken coverage pc;
-        go (pc + 1) (n + 1) (cyc + 1) ld st br
-      | Decode.D_nop ->
-        Coverage.record_pc_taken coverage pc;
-        go (pc + 1) (n + 1) (cyc + 1) ld st br
-      | Decode.D_syscall _ | Decode.D_watch _ | Decode.D_unwatch _
-      | Decode.D_halt ->
-        special pc n cyc ld st br
-    end
-  and special pc n cyc ld st br =
-    ( { x_pc = pc; x_retired = n; x_cycles = cyc; x_loads = ld; x_stores = st;
-        x_branches = br },
-      Special )
-  in
-  let st, stop = go ctx.Context.pc 0 0 0 0 0 in
-  flush ctx st;
-  (st.x_retired, stop)
+          Array.unsafe_set regs rd (Array.unsafe_get regs rs mod imm);
+        Coverage.record_pc_taken t.coverage pc;
+        go t (pc + 1) (n + 1) (cyc + 1) ld st br
+      end
+    | Decode.D_cmp (c, rd, rs, rt) ->
+      if rd <> 0 then
+        Array.unsafe_set regs rd
+          (if
+             Insn.eval_cmp c (Array.unsafe_get regs rs)
+               (Array.unsafe_get regs rt)
+           then 1
+           else 0);
+      Coverage.record_pc_taken t.coverage pc;
+      go t (pc + 1) (n + 1) (cyc + 1) ld st br
+    | Decode.D_cmpi (c, rd, rs, imm) ->
+      if rd <> 0 then
+        Array.unsafe_set regs rd
+          (if Insn.eval_cmp c (Array.unsafe_get regs rs) imm then 1 else 0);
+      Coverage.record_pc_taken t.coverage pc;
+      go t (pc + 1) (n + 1) (cyc + 1) ld st br
+    | Decode.D_li (rd, imm) ->
+      if rd <> 0 then Array.unsafe_set regs rd imm;
+      Coverage.record_pc_taken t.coverage pc;
+      go t (pc + 1) (n + 1) (cyc + 1) ld st br
+    | Decode.D_mov (rd, rs) ->
+      if rd <> 0 then Array.unsafe_set regs rd (Array.unsafe_get regs rs);
+      Coverage.record_pc_taken t.coverage pc;
+      go t (pc + 1) (n + 1) (cyc + 1) ld st br
+    | Decode.D_load (rd, base, off) ->
+      let addr = Array.unsafe_get regs base + off in
+      if not (Memory.is_valid t.mem addr) then special t pc n cyc ld st br
+      else begin
+        let lat = latency t ~write:false addr in
+        if rd <> 0 then
+          Array.unsafe_set regs rd (Array.unsafe_get t.words addr);
+        Coverage.record_pc_taken t.coverage pc;
+        go t (pc + 1) (n + 1) (cyc + 1 + lat) (ld + 1) st br
+      end
+    | Decode.D_store (rs, base, off) ->
+      let addr = Array.unsafe_get regs base + off in
+      if not (Memory.is_valid t.mem addr) then special t pc n cyc ld st br
+      else begin
+        let lat = latency t ~write:true addr in
+        Memory.write_valid t.mem addr (Array.unsafe_get regs rs);
+        Coverage.record_pc_taken t.coverage pc;
+        go t (pc + 1) (n + 1) (cyc + 1 + lat) ld (st + 1) br
+      end
+    | Decode.D_br (c, rs, rt, target) ->
+      let taken =
+        Insn.eval_cmp c (Array.unsafe_get regs rs) (Array.unsafe_get regs rt)
+      in
+      (* One associative search both tests the spawn predicate and — for
+         rejected branches — commits the counts+exercise effect. A BTB
+         miss is always a candidate: the insertion and its accounting
+         belong to the instrumented tier. *)
+      if t.spawning && Btb.probe_exercise t.btb pc ~taken ~threshold:t.threshold
+      then begin
+        finish t pc n cyc ld st br;
+        if taken then Special_branch_taken else Special_branch_nontaken
+      end
+      else begin
+        Bitbuf.push t.bits taken;
+        Coverage.record_taken t.coverage pc taken;
+        Coverage.record_pc_taken t.coverage pc;
+        go t
+          (if taken then target else pc + 1)
+          (n + 1) (cyc + 1) ld st (br + 1)
+      end
+    | Decode.D_jmp target ->
+      Coverage.record_pc_taken t.coverage pc;
+      go t target (n + 1) (cyc + 1) ld st br
+    | Decode.D_call target ->
+      let sp = Array.unsafe_get regs Reg.sp - 1 in
+      if not (Memory.is_valid t.mem sp) then special t pc n cyc ld st br
+      else begin
+        Array.unsafe_set regs Reg.sp sp;
+        let lat = latency t ~write:true sp in
+        Memory.write_valid t.mem sp (pc + 1);
+        Coverage.record_pc_taken t.coverage pc;
+        go t target (n + 1) (cyc + 1 + lat) ld (st + 1) br
+      end
+    | Decode.D_ret ->
+      let sp = Array.unsafe_get regs Reg.sp in
+      if not (Memory.is_valid t.mem sp) then special t pc n cyc ld st br
+      else begin
+        let lat = latency t ~write:false sp in
+        let ra = Array.unsafe_get t.words sp in
+        Array.unsafe_set regs Reg.sp (sp + 1);
+        Coverage.record_pc_taken t.coverage pc;
+        go t ra (n + 1) (cyc + 1 + lat) (ld + 1) st br
+      end
+    | Decode.D_push rs ->
+      let sp = Array.unsafe_get regs Reg.sp - 1 in
+      if not (Memory.is_valid t.mem sp) then special t pc n cyc ld st br
+      else begin
+        Array.unsafe_set regs Reg.sp sp;
+        let lat = latency t ~write:true sp in
+        Memory.write_valid t.mem sp (Array.unsafe_get regs rs);
+        Coverage.record_pc_taken t.coverage pc;
+        go t (pc + 1) (n + 1) (cyc + 1 + lat) ld (st + 1) br
+      end
+    | Decode.D_pop rd ->
+      let sp = Array.unsafe_get regs Reg.sp in
+      if not (Memory.is_valid t.mem sp) then special t pc n cyc ld st br
+      else begin
+        let lat = latency t ~write:false sp in
+        let v = Array.unsafe_get t.words sp in
+        Array.unsafe_set regs Reg.sp (sp + 1);
+        if rd <> 0 then Array.unsafe_set regs rd v;
+        Coverage.record_pc_taken t.coverage pc;
+        go t (pc + 1) (n + 1) (cyc + 1 + lat) (ld + 1) st br
+      end
+    | Decode.D_checkz (rs, _site) ->
+      (* Passing check: no report, plain fallthrough. A zero value files a
+         report (detector machinery) — instrumented tier's job. *)
+      if Array.unsafe_get regs rs = 0 then special t pc n cyc ld st br
+      else begin
+        Coverage.record_pc_taken t.coverage pc;
+        go t (pc + 1) (n + 1) (cyc + 1) ld st br
+      end
+    | Decode.D_pred _ ->
+      (* The primary context's predicate is false outside NT-Path fix
+         blocks, making this a fallthrough; a live predicate means a fix
+         block is executing and the instrumented tier must run it. *)
+      if t.ctx.Context.pred then special t pc n cyc ld st br
+      else begin
+        Coverage.record_pc_taken t.coverage pc;
+        go t (pc + 1) (n + 1) (cyc + 1) ld st br
+      end
+    | Decode.D_clearpred ->
+      t.ctx.Context.pred <- false;
+      Coverage.record_pc_taken t.coverage pc;
+      go t (pc + 1) (n + 1) (cyc + 1) ld st br
+    | Decode.D_nop ->
+      Coverage.record_pc_taken t.coverage pc;
+      go t (pc + 1) (n + 1) (cyc + 1) ld st br
+    | Decode.D_syscall _ | Decode.D_watch _ | Decode.D_unwatch _
+    | Decode.D_halt ->
+      special t pc n cyc ld st br
+  end
+
+and special t pc n cyc ld st br =
+  finish t pc n cyc ld st br;
+  Special
+
+let make machine ctx coverage ~bits =
+  let dcode = machine.Machine.dcode in
+  {
+    machine;
+    ctx;
+    coverage;
+    bits;
+    dcode;
+    mem = machine.Machine.mem;
+    words = machine.Machine.mem.Memory.words;
+    btb = machine.Machine.btb;
+    regs = ctx.Context.regs;
+    l1 = ctx.Context.l1;
+    code_len = Array.length dcode;
+    spawning = false;
+    threshold = 0;
+    budget = 0;
+    retired = 0;
+    memo_hits = 0;
+  }
+
+let run t ~spawning ~threshold ~budget =
+  t.spawning <- spawning;
+  t.threshold <- threshold;
+  t.budget <- budget;
+  t.memo_hits <- 0;
+  let stop = go t t.ctx.Context.pc 0 0 0 0 0 in
+  if t.memo_hits > 0 then Cache.add_hits t.l1 t.memo_hits;
+  stop
+
+let retired t = t.retired
 
 (* The NT-Path variant of the fast tier: same stop-before-special discipline,
    but memory traffic goes through the path's sandbox (speculative cache
@@ -311,216 +372,277 @@ type nt_stop =
           instruction has retired (stats, latency) with [ctx.pc] left on it,
           exactly as the instrumented tier leaves it *)
 
-let run_nt machine ctx sandbox coverage ~deopt_branches ~budget =
+type nt = {
+  n_machine : Machine.t;
+  n_ctx : Context.t;
+  n_sandbox : Context.sandbox;
+  n_coverage : Coverage.t;
+  n_dcode : Decode.t array;
+  n_mem : Memory.t;
+  n_regs : int array;
+  n_code_len : int;
+  (* The arena's L1 is retargeted per spawn (CMP spawns land on idle cores'
+     L1s) and the 8-bit path id is fresh per spawn, so both are refreshed
+     from the context/sandbox at every segment ([run_nt]). *)
+  mutable n_l1 : Cache.t;
+  mutable n_path_id : int;
+  mutable n_deopt : bool;
+  mutable n_budget : int;
+  mutable n_retired : int;
+  mutable n_memo_hits : int;
+}
+
+(* Same batched memo accounting as the taken-path loop; the owner is the
+   path's id, so a memoized *write* only short-circuits when the line
+   already carries this path's tag (no retag, no journal due). *)
+let[@inline always] nt_latency t ~write addr =
+  if Cache.memo_probe t.n_l1 addr ~owner:t.n_path_id ~write then begin
+    t.n_memo_hits <- t.n_memo_hits + 1;
+    0
+  end
+  else
+    Machine.access_latency t.n_machine t.n_l1 ~owner:t.n_path_id ~write
+      ~speculative:true addr
+
+let[@inline always] nt_finish t pc n cyc ld st br =
+  t.n_ctx.Context.pc <- pc;
+  let stats = t.n_ctx.Context.stats in
+  stats.Context.insns <- stats.Context.insns + n;
+  stats.Context.cycles <- stats.Context.cycles + cyc;
+  stats.Context.loads <- stats.Context.loads + ld;
+  stats.Context.stores <- stats.Context.stores + st;
+  stats.Context.branches <- stats.Context.branches + br;
+  t.n_retired <- n
+
+let rec nt_go t pc n cyc ld st br =
+  if n >= t.n_budget then begin
+    nt_finish t pc n cyc ld st br;
+    Nt_budget
+  end
+  else if pc < 0 || pc >= t.n_code_len then nt_special t pc n cyc ld st br
+  else begin
+    let regs = t.n_regs in
+    match Array.unsafe_get t.n_dcode pc with
+    | Decode.D_alu (op, rd, rs, rt) ->
+      if rd <> 0 then
+        Array.unsafe_set regs rd
+          (Decode.eval_alu op (Array.unsafe_get regs rs)
+             (Array.unsafe_get regs rt));
+      Coverage.record_pc_nt t.n_coverage pc;
+      nt_go t (pc + 1) (n + 1) (cyc + 1) ld st br
+    | Decode.D_alui (op, rd, rs, imm) ->
+      if rd <> 0 then
+        Array.unsafe_set regs rd
+          (Decode.eval_alu op (Array.unsafe_get regs rs) imm);
+      Coverage.record_pc_nt t.n_coverage pc;
+      nt_go t (pc + 1) (n + 1) (cyc + 1) ld st br
+    | Decode.D_div (rd, rs, rt) ->
+      let b = Array.unsafe_get regs rt in
+      if b = 0 then nt_special t pc n cyc ld st br
+      else begin
+        if rd <> 0 then
+          Array.unsafe_set regs rd (Array.unsafe_get regs rs / b);
+        Coverage.record_pc_nt t.n_coverage pc;
+        nt_go t (pc + 1) (n + 1) (cyc + 1) ld st br
+      end
+    | Decode.D_mod (rd, rs, rt) ->
+      let b = Array.unsafe_get regs rt in
+      if b = 0 then nt_special t pc n cyc ld st br
+      else begin
+        if rd <> 0 then
+          Array.unsafe_set regs rd (Array.unsafe_get regs rs mod b);
+        Coverage.record_pc_nt t.n_coverage pc;
+        nt_go t (pc + 1) (n + 1) (cyc + 1) ld st br
+      end
+    | Decode.D_divi (rd, rs, imm) ->
+      if imm = 0 then nt_special t pc n cyc ld st br
+      else begin
+        if rd <> 0 then
+          Array.unsafe_set regs rd (Array.unsafe_get regs rs / imm);
+        Coverage.record_pc_nt t.n_coverage pc;
+        nt_go t (pc + 1) (n + 1) (cyc + 1) ld st br
+      end
+    | Decode.D_modi (rd, rs, imm) ->
+      if imm = 0 then nt_special t pc n cyc ld st br
+      else begin
+        if rd <> 0 then
+          Array.unsafe_set regs rd (Array.unsafe_get regs rs mod imm);
+        Coverage.record_pc_nt t.n_coverage pc;
+        nt_go t (pc + 1) (n + 1) (cyc + 1) ld st br
+      end
+    | Decode.D_cmp (c, rd, rs, rt) ->
+      if rd <> 0 then
+        Array.unsafe_set regs rd
+          (if
+             Insn.eval_cmp c (Array.unsafe_get regs rs)
+               (Array.unsafe_get regs rt)
+           then 1
+           else 0);
+      Coverage.record_pc_nt t.n_coverage pc;
+      nt_go t (pc + 1) (n + 1) (cyc + 1) ld st br
+    | Decode.D_cmpi (c, rd, rs, imm) ->
+      if rd <> 0 then
+        Array.unsafe_set regs rd
+          (if Insn.eval_cmp c (Array.unsafe_get regs rs) imm then 1 else 0);
+      Coverage.record_pc_nt t.n_coverage pc;
+      nt_go t (pc + 1) (n + 1) (cyc + 1) ld st br
+    | Decode.D_li (rd, imm) ->
+      if rd <> 0 then Array.unsafe_set regs rd imm;
+      Coverage.record_pc_nt t.n_coverage pc;
+      nt_go t (pc + 1) (n + 1) (cyc + 1) ld st br
+    | Decode.D_mov (rd, rs) ->
+      if rd <> 0 then Array.unsafe_set regs rd (Array.unsafe_get regs rs);
+      Coverage.record_pc_nt t.n_coverage pc;
+      nt_go t (pc + 1) (n + 1) (cyc + 1) ld st br
+    | Decode.D_load (rd, base, off) ->
+      let addr = Array.unsafe_get regs base + off in
+      if not (Memory.is_valid t.n_mem addr) then nt_special t pc n cyc ld st br
+      else begin
+        let lat = nt_latency t ~write:false addr in
+        let v = Context.sandbox_read t.n_sandbox t.n_mem addr in
+        if rd <> 0 then Array.unsafe_set regs rd v;
+        Coverage.record_pc_nt t.n_coverage pc;
+        nt_go t (pc + 1) (n + 1) (cyc + 1 + lat) (ld + 1) st br
+      end
+    | Decode.D_store (rs, base, off) ->
+      let addr = Array.unsafe_get regs base + off in
+      if not (Memory.is_valid t.n_mem addr) then nt_special t pc n cyc ld st br
+      else begin
+        let lat = nt_latency t ~write:true addr in
+        Coverage.record_pc_nt t.n_coverage pc;
+        if Context.sandbox_write t.n_sandbox t.n_mem addr (Array.unsafe_get regs rs)
+        then nt_go t (pc + 1) (n + 1) (cyc + 1 + lat) ld (st + 1) br
+        else begin
+          (* overflow: the store retires in place, pc not advanced *)
+          nt_finish t pc (n + 1) (cyc + 1 + lat) ld (st + 1) br;
+          Nt_overflow
+        end
+      end
+    | Decode.D_br (c, rs, rt, target) ->
+      (* [n_deopt] ([follow_nontaken_in_nt] ablation): edge selection
+         consults the BTB per inner branch — instrumented tier's job; stop
+         before the branch commits anything. *)
+      if t.n_deopt then nt_special t pc n cyc ld st br
+      else begin
+        let taken =
+          Insn.eval_cmp c (Array.unsafe_get regs rs)
+            (Array.unsafe_get regs rt)
+        in
+        Coverage.record_nt t.n_coverage pc taken;
+        Coverage.record_pc_nt t.n_coverage pc;
+        nt_go t
+          (if taken then target else pc + 1)
+          (n + 1) (cyc + 1) ld st (br + 1)
+      end
+    | Decode.D_jmp target ->
+      Coverage.record_pc_nt t.n_coverage pc;
+      nt_go t target (n + 1) (cyc + 1) ld st br
+    | Decode.D_call target ->
+      let sp = Array.unsafe_get regs Reg.sp - 1 in
+      if not (Memory.is_valid t.n_mem sp) then nt_special t pc n cyc ld st br
+      else begin
+        Array.unsafe_set regs Reg.sp sp;
+        let lat = nt_latency t ~write:true sp in
+        Coverage.record_pc_nt t.n_coverage pc;
+        if Context.sandbox_write t.n_sandbox t.n_mem sp (pc + 1) then
+          nt_go t target (n + 1) (cyc + 1 + lat) ld (st + 1) br
+        else begin
+          nt_finish t pc (n + 1) (cyc + 1 + lat) ld (st + 1) br;
+          Nt_overflow
+        end
+      end
+    | Decode.D_ret ->
+      let sp = Array.unsafe_get regs Reg.sp in
+      if not (Memory.is_valid t.n_mem sp) then nt_special t pc n cyc ld st br
+      else begin
+        let lat = nt_latency t ~write:false sp in
+        let ra = Context.sandbox_read t.n_sandbox t.n_mem sp in
+        Array.unsafe_set regs Reg.sp (sp + 1);
+        Coverage.record_pc_nt t.n_coverage pc;
+        nt_go t ra (n + 1) (cyc + 1 + lat) (ld + 1) st br
+      end
+    | Decode.D_push rs ->
+      let sp = Array.unsafe_get regs Reg.sp - 1 in
+      if not (Memory.is_valid t.n_mem sp) then nt_special t pc n cyc ld st br
+      else begin
+        Array.unsafe_set regs Reg.sp sp;
+        let lat = nt_latency t ~write:true sp in
+        Coverage.record_pc_nt t.n_coverage pc;
+        if Context.sandbox_write t.n_sandbox t.n_mem sp (Array.unsafe_get regs rs)
+        then nt_go t (pc + 1) (n + 1) (cyc + 1 + lat) ld (st + 1) br
+        else begin
+          nt_finish t pc (n + 1) (cyc + 1 + lat) ld (st + 1) br;
+          Nt_overflow
+        end
+      end
+    | Decode.D_pop rd ->
+      let sp = Array.unsafe_get regs Reg.sp in
+      if not (Memory.is_valid t.n_mem sp) then nt_special t pc n cyc ld st br
+      else begin
+        let lat = nt_latency t ~write:false sp in
+        let v = Context.sandbox_read t.n_sandbox t.n_mem sp in
+        Array.unsafe_set regs Reg.sp (sp + 1);
+        if rd <> 0 then Array.unsafe_set regs rd v;
+        Coverage.record_pc_nt t.n_coverage pc;
+        nt_go t (pc + 1) (n + 1) (cyc + 1 + lat) (ld + 1) st br
+      end
+    | Decode.D_checkz (rs, _site) ->
+      if Array.unsafe_get regs rs = 0 then nt_special t pc n cyc ld st br
+      else begin
+        Coverage.record_pc_nt t.n_coverage pc;
+        nt_go t (pc + 1) (n + 1) (cyc + 1) ld st br
+      end
+    | Decode.D_pred _ ->
+      (* Consistency-fix blocks (predicate live at path entry) run on the
+         instrumented tier; once [Clearpred] retires this is fallthrough. *)
+      if t.n_ctx.Context.pred then nt_special t pc n cyc ld st br
+      else begin
+        Coverage.record_pc_nt t.n_coverage pc;
+        nt_go t (pc + 1) (n + 1) (cyc + 1) ld st br
+      end
+    | Decode.D_clearpred ->
+      t.n_ctx.Context.pred <- false;
+      Coverage.record_pc_nt t.n_coverage pc;
+      nt_go t (pc + 1) (n + 1) (cyc + 1) ld st br
+    | Decode.D_nop ->
+      Coverage.record_pc_nt t.n_coverage pc;
+      nt_go t (pc + 1) (n + 1) (cyc + 1) ld st br
+    | Decode.D_syscall _ | Decode.D_watch _ | Decode.D_unwatch _
+    | Decode.D_halt ->
+      nt_special t pc n cyc ld st br
+  end
+
+and nt_special t pc n cyc ld st br =
+  nt_finish t pc n cyc ld st br;
+  Nt_special
+
+let make_nt machine ctx sandbox coverage =
   let dcode = machine.Machine.dcode in
-  let mem = machine.Machine.mem in
-  let path_id = Context.sandbox_path_id sandbox in
-  let regs = ctx.Context.regs in
-  let l1 = ctx.Context.l1 in
-  let code_len = Array.length dcode in
-  let[@inline always] latency ~write addr =
-    Machine.access_latency machine l1 ~owner:path_id ~write ~speculative:true
-      addr
-  in
-  let rec go pc n cyc ld st br =
-    if n >= budget then
-      ({ x_pc = pc; x_retired = n; x_cycles = cyc; x_loads = ld;
-         x_stores = st; x_branches = br }, Nt_budget)
-    else if pc < 0 || pc >= code_len then special pc n cyc ld st br
-    else begin
-      match Array.unsafe_get dcode pc with
-      | Decode.D_alu (op, rd, rs, rt) ->
-        if rd <> 0 then
-          Array.unsafe_set regs rd
-            (Decode.eval_alu op (Array.unsafe_get regs rs)
-               (Array.unsafe_get regs rt));
-        Coverage.record_pc_nt coverage pc;
-        go (pc + 1) (n + 1) (cyc + 1) ld st br
-      | Decode.D_alui (op, rd, rs, imm) ->
-        if rd <> 0 then
-          Array.unsafe_set regs rd
-            (Decode.eval_alu op (Array.unsafe_get regs rs) imm);
-        Coverage.record_pc_nt coverage pc;
-        go (pc + 1) (n + 1) (cyc + 1) ld st br
-      | Decode.D_div (rd, rs, rt) ->
-        let b = Array.unsafe_get regs rt in
-        if b = 0 then special pc n cyc ld st br
-        else begin
-          if rd <> 0 then
-            Array.unsafe_set regs rd (Array.unsafe_get regs rs / b);
-          Coverage.record_pc_nt coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1) ld st br
-        end
-      | Decode.D_mod (rd, rs, rt) ->
-        let b = Array.unsafe_get regs rt in
-        if b = 0 then special pc n cyc ld st br
-        else begin
-          if rd <> 0 then
-            Array.unsafe_set regs rd (Array.unsafe_get regs rs mod b);
-          Coverage.record_pc_nt coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1) ld st br
-        end
-      | Decode.D_divi (rd, rs, imm) ->
-        if imm = 0 then special pc n cyc ld st br
-        else begin
-          if rd <> 0 then
-            Array.unsafe_set regs rd (Array.unsafe_get regs rs / imm);
-          Coverage.record_pc_nt coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1) ld st br
-        end
-      | Decode.D_modi (rd, rs, imm) ->
-        if imm = 0 then special pc n cyc ld st br
-        else begin
-          if rd <> 0 then
-            Array.unsafe_set regs rd (Array.unsafe_get regs rs mod imm);
-          Coverage.record_pc_nt coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1) ld st br
-        end
-      | Decode.D_cmp (c, rd, rs, rt) ->
-        if rd <> 0 then
-          Array.unsafe_set regs rd
-            (if
-               Insn.eval_cmp c (Array.unsafe_get regs rs)
-                 (Array.unsafe_get regs rt)
-             then 1
-             else 0);
-        Coverage.record_pc_nt coverage pc;
-        go (pc + 1) (n + 1) (cyc + 1) ld st br
-      | Decode.D_cmpi (c, rd, rs, imm) ->
-        if rd <> 0 then
-          Array.unsafe_set regs rd
-            (if Insn.eval_cmp c (Array.unsafe_get regs rs) imm then 1 else 0);
-        Coverage.record_pc_nt coverage pc;
-        go (pc + 1) (n + 1) (cyc + 1) ld st br
-      | Decode.D_li (rd, imm) ->
-        if rd <> 0 then Array.unsafe_set regs rd imm;
-        Coverage.record_pc_nt coverage pc;
-        go (pc + 1) (n + 1) (cyc + 1) ld st br
-      | Decode.D_mov (rd, rs) ->
-        if rd <> 0 then Array.unsafe_set regs rd (Array.unsafe_get regs rs);
-        Coverage.record_pc_nt coverage pc;
-        go (pc + 1) (n + 1) (cyc + 1) ld st br
-      | Decode.D_load (rd, base, off) ->
-        let addr = Array.unsafe_get regs base + off in
-        if not (Memory.is_valid mem addr) then special pc n cyc ld st br
-        else begin
-          let lat = latency ~write:false addr in
-          let v = Context.sandbox_read sandbox mem addr in
-          if rd <> 0 then Array.unsafe_set regs rd v;
-          Coverage.record_pc_nt coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1 + lat) (ld + 1) st br
-        end
-      | Decode.D_store (rs, base, off) ->
-        let addr = Array.unsafe_get regs base + off in
-        if not (Memory.is_valid mem addr) then special pc n cyc ld st br
-        else begin
-          let lat = latency ~write:true addr in
-          Coverage.record_pc_nt coverage pc;
-          if Context.sandbox_write sandbox mem addr (Array.unsafe_get regs rs)
-          then go (pc + 1) (n + 1) (cyc + 1 + lat) ld (st + 1) br
-          else
-            (* overflow: the store retires in place, pc not advanced *)
-            ( { x_pc = pc; x_retired = n + 1; x_cycles = cyc + 1 + lat;
-                x_loads = ld; x_stores = st + 1; x_branches = br },
-              Nt_overflow )
-        end
-      | Decode.D_br (c, rs, rt, target) ->
-        (* [deopt_branches] ([follow_nontaken_in_nt] ablation): edge
-           selection consults the BTB per inner branch — instrumented
-           tier's job; stop before the branch commits anything. *)
-        if deopt_branches then special pc n cyc ld st br
-        else begin
-          let taken =
-            Insn.eval_cmp c (Array.unsafe_get regs rs)
-              (Array.unsafe_get regs rt)
-          in
-          Coverage.record_nt coverage pc taken;
-          Coverage.record_pc_nt coverage pc;
-          go (if taken then target else pc + 1)
-            (n + 1) (cyc + 1) ld st (br + 1)
-        end
-      | Decode.D_jmp target ->
-        Coverage.record_pc_nt coverage pc;
-        go target (n + 1) (cyc + 1) ld st br
-      | Decode.D_call target ->
-        let sp = Array.unsafe_get regs Reg.sp - 1 in
-        if not (Memory.is_valid mem sp) then special pc n cyc ld st br
-        else begin
-          Array.unsafe_set regs Reg.sp sp;
-          let lat = latency ~write:true sp in
-          Coverage.record_pc_nt coverage pc;
-          if Context.sandbox_write sandbox mem sp (pc + 1) then
-            go target (n + 1) (cyc + 1 + lat) ld (st + 1) br
-          else
-            ( { x_pc = pc; x_retired = n + 1; x_cycles = cyc + 1 + lat;
-                x_loads = ld; x_stores = st + 1; x_branches = br },
-              Nt_overflow )
-        end
-      | Decode.D_ret ->
-        let sp = Array.unsafe_get regs Reg.sp in
-        if not (Memory.is_valid mem sp) then special pc n cyc ld st br
-        else begin
-          let lat = latency ~write:false sp in
-          let ra = Context.sandbox_read sandbox mem sp in
-          Array.unsafe_set regs Reg.sp (sp + 1);
-          Coverage.record_pc_nt coverage pc;
-          go ra (n + 1) (cyc + 1 + lat) (ld + 1) st br
-        end
-      | Decode.D_push rs ->
-        let sp = Array.unsafe_get regs Reg.sp - 1 in
-        if not (Memory.is_valid mem sp) then special pc n cyc ld st br
-        else begin
-          Array.unsafe_set regs Reg.sp sp;
-          let lat = latency ~write:true sp in
-          Coverage.record_pc_nt coverage pc;
-          if Context.sandbox_write sandbox mem sp (Array.unsafe_get regs rs)
-          then go (pc + 1) (n + 1) (cyc + 1 + lat) ld (st + 1) br
-          else
-            ( { x_pc = pc; x_retired = n + 1; x_cycles = cyc + 1 + lat;
-                x_loads = ld; x_stores = st + 1; x_branches = br },
-              Nt_overflow )
-        end
-      | Decode.D_pop rd ->
-        let sp = Array.unsafe_get regs Reg.sp in
-        if not (Memory.is_valid mem sp) then special pc n cyc ld st br
-        else begin
-          let lat = latency ~write:false sp in
-          let v = Context.sandbox_read sandbox mem sp in
-          Array.unsafe_set regs Reg.sp (sp + 1);
-          if rd <> 0 then Array.unsafe_set regs rd v;
-          Coverage.record_pc_nt coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1 + lat) (ld + 1) st br
-        end
-      | Decode.D_checkz (rs, _site) ->
-        if Array.unsafe_get regs rs = 0 then special pc n cyc ld st br
-        else begin
-          Coverage.record_pc_nt coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1) ld st br
-        end
-      | Decode.D_pred _ ->
-        (* Consistency-fix blocks (predicate live at path entry) run on the
-           instrumented tier; once [Clearpred] retires this is fallthrough. *)
-        if ctx.Context.pred then special pc n cyc ld st br
-        else begin
-          Coverage.record_pc_nt coverage pc;
-          go (pc + 1) (n + 1) (cyc + 1) ld st br
-        end
-      | Decode.D_clearpred ->
-        ctx.Context.pred <- false;
-        Coverage.record_pc_nt coverage pc;
-        go (pc + 1) (n + 1) (cyc + 1) ld st br
-      | Decode.D_nop ->
-        Coverage.record_pc_nt coverage pc;
-        go (pc + 1) (n + 1) (cyc + 1) ld st br
-      | Decode.D_syscall _ | Decode.D_watch _ | Decode.D_unwatch _
-      | Decode.D_halt ->
-        special pc n cyc ld st br
-    end
-  and special pc n cyc ld st br =
-    ( { x_pc = pc; x_retired = n; x_cycles = cyc; x_loads = ld; x_stores = st;
-        x_branches = br },
-      Nt_special )
-  in
-  let st, stop = go ctx.Context.pc 0 0 0 0 0 in
-  flush ctx st;
-  (st.x_retired, stop)
+  {
+    n_machine = machine;
+    n_ctx = ctx;
+    n_sandbox = sandbox;
+    n_coverage = coverage;
+    n_dcode = dcode;
+    n_mem = machine.Machine.mem;
+    n_regs = ctx.Context.regs;
+    n_code_len = Array.length dcode;
+    n_l1 = ctx.Context.l1;
+    n_path_id = Cache.committed_owner;
+    n_deopt = false;
+    n_budget = 0;
+    n_retired = 0;
+    n_memo_hits = 0;
+  }
+
+let run_nt t ~deopt_branches ~budget =
+  t.n_l1 <- t.n_ctx.Context.l1;
+  t.n_path_id <- Context.sandbox_path_id t.n_sandbox;
+  t.n_deopt <- deopt_branches;
+  t.n_budget <- budget;
+  t.n_memo_hits <- 0;
+  let stop = nt_go t t.n_ctx.Context.pc 0 0 0 0 0 in
+  if t.n_memo_hits > 0 then Cache.add_hits t.n_l1 t.n_memo_hits;
+  stop
+
+let nt_retired t = t.n_retired

@@ -5,49 +5,57 @@
     needs detector, watchpoint, syscall, recorder or spawn machinery. The
     engine then executes that instruction on the instrumented tier
     (deoptimization, not re-execution), keeping every observable bit-for-bit
-    identical to a fully instrumented run. *)
+    identical to a fully instrumented run.
+
+    Both tiers are packaged as handles ({!make}/{!make_nt}) built once per
+    run (or per NT arena) so that a segment call allocates nothing: per-call
+    parameters travel through the handle, exit state is flushed straight
+    into the context, and the stop constructors are all constant. *)
 
 type stop =
   | Budget  (** segment budget exhausted (fuel or counter-reset boundary) *)
   | Special
       (** the instruction at [ctx.pc] needs the instrumented tier; nothing
           about it has been committed *)
-  | Special_branch of bool
-      (** a spawn-candidate conditional branch at [ctx.pc]; the payload is
-          the fast tier's evaluation of the condition, for cross-checking
-          against the instrumented tier's *)
+  | Special_branch_taken
+      (** a spawn-candidate conditional branch at [ctx.pc]; the fast tier
+          evaluated its condition as taken (cross-checked against the
+          instrumented tier's own evaluation) *)
+  | Special_branch_nontaken
+      (** like [Special_branch_taken] with the condition not taken *)
 
-(** [run machine ctx coverage ~spawning ~threshold ~budget ~bits] executes
-    up to [budget] instructions of the taken path on the fast tier, starting
-    at [ctx.pc]. [spawning] is false when branches take no instrumented-tier
-    action at all ({!Pe_config.Baseline} without profiled fixing: no BTB
-    traffic, branches never deoptimize); otherwise any branch whose
-    forced-edge counter probes below [threshold] (or misses the BTB) stops
-    the segment. Passing [threshold = max_int] therefore deoptimizes at
-    *every* branch — how the engine keeps straight-line code fast under
-    configurations with per-branch actions (random spawning's RNG draw,
-    profiled fixing's observation, spawn-everywhere). Taken branch
-    directions are appended to [bits].
+(** A taken-path fast-tier handle, bound to one machine, primary context,
+    coverage sink and branch-direction log. *)
+type t
 
-    Returns [(retired, stop)]: the number of instructions retired (already
-    added to [ctx]'s stats; the caller must add it to
-    [Machine.insn_index]) and why the segment ended. [ctx.pc] is left at
-    the next instruction to execute — for [Special]/[Special_branch], the
-    instruction the instrumented tier must run.
+val make : Machine.t -> Context.t -> Coverage.t -> bits:Bitbuf.t -> t
+
+(** [run t ~spawning ~threshold ~budget] executes up to [budget]
+    instructions of the taken path on the fast tier, starting at [ctx.pc].
+    [spawning] is false when branches take no instrumented-tier action at
+    all ({!Pe_config.Baseline} without profiled fixing: no BTB traffic,
+    branches never deoptimize); otherwise any branch whose forced-edge
+    counter probes below [threshold] (or misses the BTB) stops the segment.
+    Passing [threshold = max_int] therefore deoptimizes at *every* branch —
+    how the engine keeps straight-line code fast under configurations with
+    per-branch actions (random spawning's RNG draw, profiled fixing's
+    observation, spawn-everywhere). Taken branch directions are appended to
+    the handle's [bits].
+
+    Retired instructions are already added to [ctx]'s stats when this
+    returns (read the count with {!retired}; the caller must add it to
+    [Machine.insn_index]). [ctx.pc] is left at the next instruction to
+    execute — for [Special]/[Special_branch_*], the instruction the
+    instrumented tier must run.
 
     Preconditions (enforced by {!Engine.run}): [ctx] is the primary,
     unsandboxed context; no watchpoints armed; no store hook; and under
     per-branch-action configurations (random spawning, profiled fixing,
     spawn-everywhere), [spawning = true] with [threshold = max_int]. *)
-val run :
-  Machine.t ->
-  Context.t ->
-  Coverage.t ->
-  spawning:bool ->
-  threshold:int ->
-  budget:int ->
-  bits:Bitbuf.t ->
-  int * stop
+val run : t -> spawning:bool -> threshold:int -> budget:int -> stop
+
+(** Instructions retired by the most recent {!run} segment. *)
+val retired : t -> int
 
 type nt_stop =
   | Nt_budget  (** [MaxNTPathLength] reached *)
@@ -59,24 +67,29 @@ type nt_stop =
           has retired (stats and latency charged, [ctx.pc] left on it) —
           exactly the state the instrumented tier's raise leaves behind *)
 
-(** [run_nt machine ctx sandbox coverage ~deopt_branches ~budget] is the
-    NT-Path fast tier: the same stop-before-special discipline as {!run},
-    with memory routed through [sandbox] (speculative cache ownership,
-    buffered writes), NT-Path coverage recording, actual-condition branch
-    following and no BTB traffic. [deopt_branches] (the
-    [follow_nontaken_in_nt] ablation, whose inner-branch edge selection
-    consults the BTB) stops the segment before every conditional branch
-    instead. Returns [(retired, stop)]; retired instructions are already in
-    [ctx]'s stats, and the caller must add them to [Machine.insn_index].
+(** An NT-Path fast-tier handle, bound to one machine, pooled NT context,
+    pooled sandbox and coverage sink (see {!Nt_path.make_arena}). The
+    context's L1 and the sandbox's path id are re-read at every segment, so
+    per-spawn retargeting (CMP core L1s, fresh 8-bit path ids) needs no
+    handle rebuild. *)
+type nt
 
-    Preconditions (enforced by {!Nt_path.run}): [ctx] is sandboxed in
-    [sandbox]; no watchpoints armed; no store hook; [deopt_branches] is set
-    iff the configuration forces cold edges inside NT-Paths. *)
-val run_nt :
-  Machine.t ->
-  Context.t ->
-  Context.sandbox ->
-  Coverage.t ->
-  deopt_branches:bool ->
-  budget:int ->
-  int * nt_stop
+val make_nt : Machine.t -> Context.t -> Context.sandbox -> Coverage.t -> nt
+
+(** [run_nt t ~deopt_branches ~budget] is the NT-Path fast tier: the same
+    stop-before-special discipline as {!run}, with memory routed through
+    the sandbox (speculative cache ownership, buffered writes), NT-Path
+    coverage recording, actual-condition branch following and no BTB
+    traffic. [deopt_branches] (the [follow_nontaken_in_nt] ablation, whose
+    inner-branch edge selection consults the BTB) stops the segment before
+    every conditional branch instead. Retired instructions are already in
+    [ctx]'s stats (read the count with {!nt_retired}; the caller must add
+    it to [Machine.insn_index]).
+
+    Preconditions (enforced by {!Nt_path.run}): [ctx] is sandboxed in the
+    handle's sandbox; no watchpoints armed; no store hook; [deopt_branches]
+    is set iff the configuration forces cold edges inside NT-Paths. *)
+val run_nt : nt -> deopt_branches:bool -> budget:int -> nt_stop
+
+(** Instructions retired by the most recent {!run_nt} segment. *)
+val nt_retired : nt -> int

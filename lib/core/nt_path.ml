@@ -34,19 +34,54 @@ let is_unsafe record =
   | T_unsafe _ -> true
   | T_max_length | T_crash _ | T_program_end | T_cache_overflow -> false
 
-(* Pooled spawn state: one context and one overlay sandbox, recycled across
-   every NT-Path an engine run spawns. A spawn is then a register blit plus
-   O(1) resets instead of a context, two tables and a journal allocated and
-   thrown away per path. *)
-type arena = { ctx : Context.t; sandbox : Context.sandbox }
+(* Pooled spawn state: one context, one overlay sandbox, one fast-tier
+   handle and the per-spawn telemetry counter handles, recycled across every
+   NT-Path an engine run spawns. A spawn is then a register blit plus O(1)
+   resets instead of a context, two tables, a journal and a segment's worth
+   of closures allocated and thrown away per path — and its termination
+   accounting is five pre-resolved counter bumps instead of five string
+   hashes. *)
+type arena = {
+  ctx : Context.t;
+  sandbox : Context.sandbox;
+  mutable fl : Fast_loop.nt option;
+      (* built lazily on the first spawn: the coverage sink only reaches
+         this module through [run] *)
+  c_term : Telemetry.counter_handle array;  (* indexed by [term_index] *)
+  c_insns : Telemetry.counter_handle;
+  c_fast_insns : Telemetry.counter_handle;
+  c_cycles : Telemetry.counter_handle;
+  c_squashed : Telemetry.counter_handle;
+}
+
+let term_index = function
+  | T_max_length -> 0
+  | T_crash _ -> 1
+  | T_unsafe _ -> 2
+  | T_program_end -> 3
+  | T_cache_overflow -> 4
+
+let all_terminations =
+  [| T_max_length; T_crash Cpu.Div_by_zero; T_unsafe Insn.Sys_exit;
+     T_program_end; T_cache_overflow |]
 
 let make_arena machine ~l1 =
+  let tel = machine.Machine.telemetry in
   {
     ctx = Context.create ~l1 ~pc:0 ~sp:0;
     sandbox =
       Context.make_sandbox ~path_id:Cache.committed_owner
         ~line_limit:(Machine_config.l1_lines machine.Machine.config)
         ~words_per_line:(Machine_config.words_per_line machine.Machine.config);
+    fl = None;
+    c_term =
+      Array.map
+        (fun t -> Telemetry.counter_handle tel ("nt.term." ^ termination_name t))
+        all_terminations;
+    c_insns = Telemetry.counter_handle tel "nt.insns";
+    c_fast_insns = Telemetry.counter_handle tel "nt.fast_insns";
+    c_cycles = Telemetry.counter_handle tel "nt.cycles";
+    c_squashed = Telemetry.counter_handle tel "nt.squashed_lines";
   }
 
 (* Execute one NT-Path to termination.
@@ -104,21 +139,35 @@ let run ?fix_override machine (config : Pe_config.t) coverage ~arena ~l1 ~regs
      them. *)
   let fast_ok = Pe_config.selective_on config in
   let deopt_branches = config.Pe_config.follow_nontaken_in_nt in
+  (* One fast-tier handle per arena (built on the first spawn, when the
+     run's coverage sink is first in hand): segments after that allocate
+     nothing. The handle is bound to the arena's context and sandbox, which
+     are exactly this path's — and it re-reads the context's L1 and the
+     sandbox's path id per segment, covering per-spawn retargeting. *)
+  let fl =
+    match arena.fl with
+    | Some fl -> fl
+    | None ->
+      let fl = Fast_loop.make_nt machine ctx sandbox coverage in
+      arena.fl <- Some fl;
+      fl
+  in
   let fast_insns = ref 0 in
   let rec loop () =
     if ctx.Context.stats.Context.insns >= config.Pe_config.max_nt_path_length
     then T_max_length
     else if
       fast_ok
-      && Watchpoints.count machine.Machine.watch = 0
-      && machine.Machine.store_hook = None
+      && Watchpoints.is_empty machine.Machine.watch
+      && (match machine.Machine.store_hook with
+         | None -> true
+         | Some _ -> false)
     then begin
       let budget =
         config.Pe_config.max_nt_path_length - ctx.Context.stats.Context.insns
       in
-      let retired, fstop =
-        Fast_loop.run_nt machine ctx sandbox coverage ~deopt_branches ~budget
-      in
+      let fstop = Fast_loop.run_nt fl ~deopt_branches ~budget in
+      let retired = Fast_loop.nt_retired fl in
       (* The fast tier bumped the context's stats; the global index (report
          provenance) follows here, before any instrumented-tier report. *)
       machine.Machine.insn_index <- machine.Machine.insn_index + retired;
@@ -175,12 +224,11 @@ let run ?fix_override machine (config : Pe_config.t) coverage ~arena ~l1 ~regs
   if Recorder.enabled recorder then
     Recorder.set_local recorder ctx.Context.stats.Context.cycles;
   let squashed_lines = Cache.gang_invalidate l1 ~owner:path_id in
-  let tel = machine.Machine.telemetry in
-  Telemetry.incr tel ("nt.term." ^ termination_name termination);
-  Telemetry.count tel "nt.insns" ctx.Context.stats.Context.insns;
-  if !fast_insns > 0 then Telemetry.count tel "nt.fast_insns" !fast_insns;
-  Telemetry.count tel "nt.cycles" ctx.Context.stats.Context.cycles;
-  Telemetry.count tel "nt.squashed_lines" squashed_lines;
+  Telemetry.counter_incr arena.c_term.(term_index termination);
+  Telemetry.counter_add arena.c_insns ctx.Context.stats.Context.insns;
+  if !fast_insns > 0 then Telemetry.counter_add arena.c_fast_insns !fast_insns;
+  Telemetry.counter_add arena.c_cycles ctx.Context.stats.Context.cycles;
+  Telemetry.counter_add arena.c_squashed squashed_lines;
   if Recorder.enabled recorder then begin
     let cause : Recorder.cause =
       match termination with

@@ -36,16 +36,19 @@ let create ~entries ~assoc =
 
 let set_of btb pc = btb.sets.(pc mod Array.length btb.sets)
 
+(* Associative search as a top-level loop over (set, pc): an inner [let rec]
+   would allocate a closure per lookup (no flambda), and [probe_exercise]
+   runs this once per fast-tier branch. Returns the way index, or -1. *)
+let rec search_set set n pc i =
+  if i >= n then -1
+  else
+    let e = Array.unsafe_get set i in
+    if e.valid && e.tag = pc then i else search_set set n pc (i + 1)
+
 let find btb pc =
   let set = set_of btb pc in
-  let n = Array.length set in
-  let rec search i =
-    if i >= n then None
-    else
-      let e = set.(i) in
-      if e.valid && e.tag = pc then Some e else search (i + 1)
-  in
-  search 0
+  let i = search_set set (Array.length set) pc 0 in
+  if i >= 0 then Some set.(i) else None
 
 let victim btb pc =
   let set = set_of btb pc in
@@ -132,9 +135,11 @@ let lookup_exercise btb pc ~taken =
    untouched, so the instrumented tier replays the real sequence; or commits
    [lookup_exercise]'s exact observable effect and returns [false]. *)
 let probe_exercise btb pc ~taken ~threshold =
-  match find btb pc with
-  | None -> true
-  | Some e ->
+  let set = set_of btb pc in
+  let i = search_set set (Array.length set) pc 0 in
+  if i < 0 then true
+  else begin
+    let e = Array.unsafe_get set i in
     let forced = if taken then e.nontaken_count else e.taken_count in
     if forced < threshold then true
     else begin
@@ -145,6 +150,7 @@ let probe_exercise btb pc ~taken ~threshold =
       else e.nontaken_count <- min btb.counter_max (e.nontaken_count + 1);
       false
     end
+  end
 
 let reset_counters btb =
   Array.iter

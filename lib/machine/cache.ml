@@ -22,6 +22,39 @@
    owner falls back to the reference sweep. *)
 let tracked_owners = 256
 
+(* The probe fast path (DESIGN.md §13) has two layers on top of the
+   associative walk:
+
+   - A two-entry *MRU line memo* (line address, set, line owner): the most
+     recently touched line and the most recently touched line of one other
+     set. A read of a memoized line — or a write whose owner already equals
+     the line's tag — is a hit that would change *nothing* but the hit
+     counter: the line is already MRU of its set (re-stamping it cannot
+     reorder the set), no retag happens, no journal entry is due. Such
+     accesses return after a couple of compares, skipping the clock tick and
+     the LRU store entirely. Skipping ticks is sound because clock values
+     are only ever *compared within a set* (victim selection): a line's
+     stamp stays strictly above its set-mates' and below the clock, so the
+     relative (observable) order is bit-for-bit what the unmemoized cache
+     produces even though the absolute stamps differ. The two entries always
+     name *different* sets, so each is the MRU of its set; the second entry
+     is what keeps the memo alive across the stack-line / data-line
+     alternation of typical inner loops.
+
+   - A *direct-mapped tag filter*: one candidate way per set ([mru_way]),
+     refreshed on every hit and fill (every LRU bump). A probe compares the
+     candidate's tag first and only falls back to the associative walk when
+     it misses. The filter is a verified hint — the probe re-checks tag and
+     valid bit against the line arrays — so a stale candidate can cost a
+     walk but never corrupt a lookup.
+
+   The memo, unlike the filter, is trusted without re-validation, so every
+   mutation that could invalidate or retag a memoized line outside
+   [access_line] — gang-invalidate (squash, path-id-wrap cleanup), lazy
+   commit, their [Reference] sweeps, [clear] — must kill it ([memo_kill]).
+   Mutations *inside* [access_line] (fill, eviction, write-hit retag)
+   refresh the memo as part of the access. *)
+
 type t = {
   tags : int array;  (* per line: cached line address *)
   valid : Bytes.t;  (* per line: '\001' when valid *)
@@ -37,12 +70,37 @@ type t = {
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
+  mutable fastpath : bool;  (* memo + filter enabled (kill switch) *)
+  (* MRU line memo, entry 0 newest. [memo_laddr*] is the line address or
+     [min_int] (never a real line address) when dead; [memo_owner*] mirrors
+     the line's current owner tag; [memo_set*] are distinct whenever both
+     entries are live (dead sentinels -1/-2 preserve the invariant). *)
+  mutable memo_laddr0 : int;
+  mutable memo_set0 : int;
+  mutable memo_owner0 : int;
+  mutable memo_laddr1 : int;
+  mutable memo_set1 : int;
+  mutable memo_owner1 : int;
+  mru_way : int array;  (* per set: candidate way of the last hit/fill *)
   mutable recorder : Recorder.t;
       (* the owning machine's flight recorder (the disabled singleton until
          attached): squash/commit of an owner's lines emit lifecycle events *)
 }
 
 let committed_owner = 0
+
+(* Process-wide default for the probe fast path: every cache created while
+   the switch is on carries memo + filter. [PEXP_CACHE_FASTPATH=0] is the
+   environment kill switch (CI equivalence matrix); output is byte-identical
+   either way. *)
+let fastpath_default =
+  Atomic.make
+    (match Sys.getenv_opt "PEXP_CACHE_FASTPATH" with
+     | Some "0" -> false
+     | Some _ | None -> true)
+
+let set_fastpath_enabled b = Atomic.set fastpath_default b
+let fastpath_enabled () = Atomic.get fastpath_default
 
 let log2_pow2 n =
   let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
@@ -68,10 +126,53 @@ let create ~size_kb ~assoc ~line_bytes =
     clock = 0;
     hits = 0;
     misses = 0;
+    fastpath = Atomic.get fastpath_default;
+    memo_laddr0 = min_int;
+    memo_set0 = -1;
+    memo_owner0 = -1;
+    memo_laddr1 = min_int;
+    memo_set1 = -2;
+    memo_owner1 = -1;
+    mru_way = Array.make nsets 0;
     recorder = Recorder.disabled;
   }
 
 let set_recorder cache recorder = cache.recorder <- recorder
+
+(* Kill the MRU memo (both entries). Called by every mutation path that can
+   invalidate or retag lines without going through [access_line]: squash
+   (gang-invalidate, including the defensive path-id-wrap cleanup when it
+   actually releases lines), lazy commit, the Reference sweeps, [clear], and
+   the fast-path toggle. The filter needs no such care — it is re-verified
+   on every probe. *)
+let memo_kill cache =
+  cache.memo_laddr0 <- min_int;
+  cache.memo_set0 <- -1;
+  cache.memo_owner0 <- -1;
+  cache.memo_laddr1 <- min_int;
+  cache.memo_set1 <- -2;
+  cache.memo_owner1 <- -1
+
+let set_fastpath cache b =
+  cache.fastpath <- b;
+  (* Entries noted while the switch was off (or stale ones from before it
+     was turned off) must not be trusted on re-enable. *)
+  memo_kill cache
+
+(* Note line [laddr] of [set], now tagged [owner], as the most recent
+   access. Entry 0 is the newest; entry 1 holds the previous newest *of a
+   different set*. A same-set note overwrites entry 0 in place (the old
+   entry-0 line is no longer its set's MRU); a different-set note shifts
+   entry 0 down, which also disposes of any stale same-set entry 1. *)
+let[@inline always] memo_note cache laddr set owner =
+  if cache.memo_set0 <> set then begin
+    cache.memo_laddr1 <- cache.memo_laddr0;
+    cache.memo_set1 <- cache.memo_set0;
+    cache.memo_owner1 <- cache.memo_owner0
+  end;
+  cache.memo_laddr0 <- laddr;
+  cache.memo_set0 <- set;
+  cache.memo_owner0 <- owner
 
 let line_addr cache addr =
   if cache.line_shift >= 0 && addr >= 0 then addr lsr cache.line_shift
@@ -105,6 +206,29 @@ let journal_acquire cache i owner =
 
 type outcome = Hit | Miss
 
+(* Associative walk of one set, hoisted to top level: an inner [let rec]
+   would capture its locals and allocate a closure on every filter-miss
+   access (no flambda). Returns the matching way's flat index, or -1. *)
+let rec scan_set valid tags laddr limit i =
+  if i >= limit then -1
+  else if
+    Bytes.unsafe_get valid i = '\001' && Array.unsafe_get tags i = laddr
+  then i
+  else scan_set valid tags laddr limit (i + 1)
+
+(* LRU victim of one set (invalid ways first), same hoisting rationale;
+   [best] travels as an argument instead of a heap [ref]. *)
+let rec pick_victim valid lrus limit best i =
+  if i >= limit then best
+  else
+    let best =
+      if Bytes.unsafe_get valid best <> '\001' then best
+      else if Bytes.unsafe_get valid i <> '\001' then i
+      else if Array.unsafe_get lrus i < Array.unsafe_get lrus best then i
+      else best
+    in
+    pick_victim valid lrus limit best (i + 1)
+
 (* Access a word, filling on miss; returns hit/miss for latency accounting.
    [owner] tags the line on a fill or a write: an NT-Path that *loads* a new
    line or *stores* through one creates speculative data that must die with
@@ -114,56 +238,95 @@ type outcome = Hit | Miss
    committed line to the path's gang-invalidation at squash, destroying
    cached state the taken path still owns. *)
 let access_line cache addr ~owner ~write ~allocate =
-  cache.clock <- cache.clock + 1;
   let laddr = line_addr cache addr in
-  let base = set_index cache laddr * cache.assoc in
-  let limit = base + cache.assoc in
-  let tags = cache.tags in
-  let rec find i =
-    if i >= limit then -1
-    else if line_valid cache i && Array.unsafe_get tags i = laddr then i
-    else find (i + 1)
-  in
-  let idx = find base in
-  if idx >= 0 then begin
-    Array.unsafe_set cache.lrus idx cache.clock;
-    if write && cache.owners.(idx) <> owner then begin
-      count_decr cache cache.owners.(idx);
-      count_incr cache owner;
-      cache.owners.(idx) <- owner;
-      journal_acquire cache idx owner
-    end;
+  (* Layer 1: the MRU line memo. A memoized read — or a write whose owner
+     already matches the line's tag — is a hit whose only state transition
+     is the hit counter: the line is MRU of its set (re-stamping it cannot
+     reorder anything), and no retag or journal entry is due. Skipping the
+     clock tick is sound because stamps are only compared within a set. *)
+  if
+    cache.fastpath
+    && ((laddr = cache.memo_laddr0 && (not write || owner = cache.memo_owner0))
+        || (laddr = cache.memo_laddr1 && (not write || owner = cache.memo_owner1))
+       )
+  then begin
     cache.hits <- cache.hits + 1;
     Hit
   end
   else begin
-    if allocate then begin
-      (* Victim: least-recently-used way, invalid ways first (and among
-         invalid ways the first one found). *)
-      let best = ref base in
-      for i = base + 1 to limit - 1 do
-        if line_valid cache !best then
-          if not (line_valid cache i) then best := i
-          else if
-            Array.unsafe_get cache.lrus i < Array.unsafe_get cache.lrus !best
-          then best := i
-      done;
-      let v = !best in
-      if line_valid cache v then count_decr cache cache.owners.(v);
-      let prev_owner = cache.owners.(v) in
-      Bytes.unsafe_set cache.valid v '\001';
-      cache.tags.(v) <- laddr;
-      cache.lrus.(v) <- cache.clock;
-      count_incr cache owner;
-      if prev_owner <> owner then begin
-        cache.owners.(v) <- owner;
-        journal_acquire cache v owner
-      end
-    end;
-    cache.misses <- cache.misses + 1;
-    Miss
+    cache.clock <- cache.clock + 1;
+    let set = set_index cache laddr in
+    let base = set * cache.assoc in
+    let limit = base + cache.assoc in
+    let tags = cache.tags in
+    (* Layer 2: the direct-mapped tag filter — try the set's last hit/fill
+       way before walking the set. The candidate is re-verified against the
+       tag and valid arrays, so a stale hint is a wasted compare, never a
+       wrong lookup. Fill-on-miss keeps tags unique per set, so a verified
+       candidate is *the* matching way. *)
+    let idx =
+      let w = base + Array.unsafe_get cache.mru_way set in
+      if Array.unsafe_get tags w = laddr && line_valid cache w then w
+      else scan_set cache.valid tags laddr limit base
+    in
+    (* Invariant for the unsafe accessors below: [0 <= set < nsets] and
+       [base + assoc <= Array.length tags] — every per-line array has
+       exactly [nsets * assoc] slots (create), [set_index] reduces into
+       [0..nsets-1], and [idx]/victim indices stay within [base..limit-1]. *)
+    if idx >= 0 then begin
+      Array.unsafe_set cache.lrus idx cache.clock;
+      let line_owner = Array.unsafe_get cache.owners idx in
+      let line_owner =
+        if write && line_owner <> owner then begin
+          count_decr cache line_owner;
+          count_incr cache owner;
+          Array.unsafe_set cache.owners idx owner;
+          journal_acquire cache idx owner;
+          owner
+        end
+        else line_owner
+      in
+      cache.hits <- cache.hits + 1;
+      Array.unsafe_set cache.mru_way set (idx - base);
+      memo_note cache laddr set line_owner;
+      Hit
+    end
+    else begin
+      if allocate then begin
+        (* Victim: least-recently-used way, invalid ways first (and among
+           invalid ways the first one found). *)
+        let v = pick_victim cache.valid cache.lrus limit base (base + 1) in
+        let prev_owner = Array.unsafe_get cache.owners v in
+        if line_valid cache v then count_decr cache prev_owner;
+        Bytes.unsafe_set cache.valid v '\001';
+        Array.unsafe_set tags v laddr;
+        Array.unsafe_set cache.lrus v cache.clock;
+        count_incr cache owner;
+        if prev_owner <> owner then begin
+          Array.unsafe_set cache.owners v owner;
+          journal_acquire cache v owner
+        end;
+        Array.unsafe_set cache.mru_way set (v - base);
+        memo_note cache laddr set owner
+      end;
+      cache.misses <- cache.misses + 1;
+      Miss
+    end
   end
 
+(* Side-effect-free memo probe for the selective fast tier's batched
+   latency accounting: [true] iff [access_line] would take the memo fast
+   path (an L1 hit, zero stall cycles, no state change). The caller
+   accumulates the implied hit counts in a register and flushes them once
+   per segment with {!add_hits}. *)
+let[@inline always] memo_probe cache addr ~owner ~write =
+  cache.fastpath
+  &&
+  let laddr = line_addr cache addr in
+  (laddr = cache.memo_laddr0 && (not write || owner = cache.memo_owner0))
+  || (laddr = cache.memo_laddr1 && (not write || owner = cache.memo_owner1))
+
+let add_hits cache n = cache.hits <- cache.hits + n
 let access ?(owner = committed_owner) ?(write = false) ?(allocate = true) cache
     addr =
   access_line cache addr ~owner ~write ~allocate
@@ -184,6 +347,11 @@ let sweep_gang_invalidate cache ~owner =
       incr count
     end
   done;
+  (* A memoized line may just have been invalidated; trusting the memo past
+     this point would fast-hit a dead line. A zero-line squash (the
+     defensive cleanup on path-id wrap runs one per spawn once ids recycle)
+     changed nothing and keeps the memo warm. *)
+  if !count > 0 then memo_kill cache;
   !count
 
 let sweep_commit_owner cache ~owner =
@@ -196,6 +364,10 @@ let sweep_commit_owner cache ~owner =
       incr count
     end
   done;
+  (* Retagging invalidates the memo's owner mirror: a same-owner write to a
+     memoized line would otherwise skip the retag-and-journal the now
+     committed line is due. *)
+  if !count > 0 then memo_kill cache;
   !count
 
 let sweep_owned_lines cache ~owner =
@@ -223,6 +395,8 @@ let gang_invalidate cache ~owner =
         vec;
       Vec.clear vec;
       cache.owner_count.(owner) <- 0;
+      (* Same hazard as the sweep: a squashed line may be memoized. *)
+      if count > 0 then memo_kill cache;
       count
     end
     else sweep_gang_invalidate cache ~owner
@@ -248,6 +422,8 @@ let commit_owner cache ~owner =
         vec;
       Vec.clear vec;
       cache.owner_count.(owner) <- 0;
+      (* Same hazard as the sweep: the memo's owner mirror is now stale. *)
+      if count > 0 then memo_kill cache;
       count
     end
     else sweep_commit_owner cache ~owner
@@ -269,6 +445,28 @@ end
 let snapshot cache =
   Array.init (line_count cache) (fun i ->
       (cache.tags.(i), line_valid cache i, cache.owners.(i), cache.lrus.(i)))
+
+(* Visible state with per-set LRU *ranks* in place of raw clock stamps: the
+   memo fast path skips clock ticks, so a memoized cache and a plain one
+   agree on tags, validity, owners and eviction order while their absolute
+   stamps drift apart. Rank = how many valid set-mates were touched earlier;
+   invalid lines rank -1 (their stale stamps are unobservable — victim
+   selection takes the first invalid way by index). *)
+let snapshot_canonical cache =
+  Array.init (line_count cache) (fun i ->
+      let rank =
+        if not (line_valid cache i) then -1
+        else begin
+          let base = i - (i mod cache.assoc) in
+          let r = ref 0 in
+          for j = base to base + cache.assoc - 1 do
+            if line_valid cache j && cache.lrus.(j) < cache.lrus.(i) then
+              incr r
+          done;
+          !r
+        end
+      in
+      (cache.tags.(i), line_valid cache i, cache.owners.(i), rank))
 
 let hits cache = cache.hits
 let misses cache = cache.misses
@@ -301,4 +499,6 @@ let clear cache =
   Array.fill cache.owners 0 (line_count cache) committed_owner;
   Array.iter Vec.clear cache.owner_journal;
   Array.fill cache.owner_count 0 tracked_owners 0;
+  memo_kill cache;
+  Array.fill cache.mru_way 0 cache.nsets 0;
   reset_stats cache

@@ -45,15 +45,33 @@ module Itab = struct
 
   let hash t key = (key * 0x9E3779B1) land t.mask
 
+  (* The probe loops live at top level with every piece of state passed as
+     an argument: an inner [let rec] capturing locals would allocate a fresh
+     closure on each call (no flambda here), and these two run once per
+     sandboxed load/store — the simulator's hottest allocation site before
+     they were hoisted. *)
+  let rec find_probe gens keys gen key mask i =
+    if Array.unsafe_get gens i <> gen then -1
+    else if Array.unsafe_get keys i = key then i
+    else find_probe gens keys gen key mask ((i + 1) land mask)
+
   (* Slot index of [key], or -1. *)
   let find t key =
-    let gens = t.gens and keys = t.keys and mask = t.mask and gen = t.gen in
-    let rec probe i =
-      if Array.unsafe_get gens i <> gen then -1
-      else if Array.unsafe_get keys i = key then i
-      else probe ((i + 1) land mask)
-    in
-    probe (hash t key)
+    find_probe t.gens t.keys t.gen key t.mask (hash t key)
+
+  let rec set_probe t key v i =
+    if t.gens.(i) <> t.gen then begin
+      t.gens.(i) <- t.gen;
+      t.keys.(i) <- key;
+      t.vals.(i) <- v;
+      t.used <- t.used + 1;
+      true
+    end
+    else if t.keys.(i) = key then begin
+      t.vals.(i) <- v;
+      false
+    end
+    else set_probe t key v ((i + 1) land t.mask)
 
   let rec grow t =
     let okeys = t.keys and ovals = t.vals and ogens = t.gens and ogen = t.gen in
@@ -71,21 +89,7 @@ module Itab = struct
   (* Insert or overwrite; returns [true] when [key] was not yet present. *)
   and set t key v =
     if 2 * t.used > t.mask then grow t;
-    let rec probe i =
-      if t.gens.(i) <> t.gen then begin
-        t.gens.(i) <- t.gen;
-        t.keys.(i) <- key;
-        t.vals.(i) <- v;
-        t.used <- t.used + 1;
-        true
-      end
-      else if t.keys.(i) = key then begin
-        t.vals.(i) <- v;
-        false
-      end
-      else probe ((i + 1) land t.mask)
-    in
-    probe (hash t key)
+    set_probe t key v (hash t key)
 end
 
 (* Two sandboxing mechanisms:

@@ -53,7 +53,7 @@ let file_report machine ctx site =
     end
 
 let check_watch machine ctx ~is_write addr =
-  if Watchpoints.count machine.Machine.watch > 0 then
+  if not (Watchpoints.is_empty machine.Machine.watch) then
     List.iter (file_report machine ctx)
       (Watchpoints.hit_sites machine.Machine.watch ~is_write addr)
 

@@ -53,5 +53,11 @@ let undo unit entry =
   | Removed rs -> unit.ranges <- rs @ unit.ranges
 
 let count unit = List.length unit.ranges
+
+(* O(1) emptiness test for the per-iteration fast-tier eligibility checks
+   ([List.length] walks the list, and an [= 0] on it runs every engine-loop
+   iteration). *)
+let[@inline always] is_empty unit =
+  match unit.ranges with [] -> true | _ :: _ -> false
 let triggers unit = unit.triggers
 let clear unit = unit.ranges <- []

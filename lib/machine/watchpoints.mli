@@ -33,5 +33,9 @@ val is_watched : t -> int -> bool
 val undo : t -> journal_entry -> unit
 
 val count : t -> int
+
+(** [count t = 0], without walking the range list — for per-iteration
+    checks. *)
+val is_empty : t -> bool
 val triggers : t -> int
 val clear : t -> unit

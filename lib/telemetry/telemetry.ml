@@ -73,6 +73,34 @@ let incr t name = count t name 1
 let counter t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
+(* Pre-resolved counter handle for per-event hot paths (NT-Path spawn and
+   termination accounting): the name is hashed at most once, on the first
+   add. Resolution is lazy so a handle that is never added through leaves
+   the sink's exported counter set untouched — exactly the semantics of
+   calling {!count} on demand. *)
+type counter_handle = {
+  ch_t : t;
+  ch_name : string;
+  mutable ch_cell : int ref option;
+}
+
+let counter_handle t name = { ch_t = t; ch_name = name; ch_cell = None }
+
+let counter_add ch n =
+  match ch.ch_cell with
+  | Some r -> r := !r + n
+  | None ->
+    (match Hashtbl.find_opt ch.ch_t.counters ch.ch_name with
+     | Some r ->
+       r := !r + n;
+       ch.ch_cell <- Some r
+     | None ->
+       let r = ref n in
+       Hashtbl.replace ch.ch_t.counters ch.ch_name r;
+       ch.ch_cell <- Some r)
+
+let counter_incr ch = counter_add ch 1
+
 let gauge t name v =
   match Hashtbl.find_opt t.gauges name with
   | Some r -> r := v

@@ -33,6 +33,17 @@ val incr : t -> string -> unit
 (** Current value of a counter (0 when never touched). *)
 val counter : t -> string -> int
 
+(** A pre-resolved counter handle for per-event hot paths: the name is
+    hashed at most once (on the first {!counter_add}), and a handle that is
+    never added through leaves the exported counter set untouched — the
+    exact semantics of calling {!count} on demand, minus the per-event
+    hashtable lookup. *)
+type counter_handle
+
+val counter_handle : t -> string -> counter_handle
+val counter_add : counter_handle -> int -> unit
+val counter_incr : counter_handle -> unit
+
 (** [gauge t name v] sets gauge [name] to [v] (last write wins). *)
 val gauge : t -> string -> float -> unit
 

@@ -18,5 +18,6 @@ let () =
       ("more", Test_more.tests);
       ("selective", Test_selective.tests);
       ("cache-properties", Test_cache_props.tests);
+      ("cache-fastpath", Test_cache_fastpath.tests);
       ("properties", Test_props.tests);
     ]
