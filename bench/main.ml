@@ -200,8 +200,32 @@ let run_bechamel ~quota () =
    [sweep_wall_runs_s] (every repeat's wall time, [--repeat N]) and
    [sweep_wall_median_s]/[sweep_wall_var_s2] — with repeats,
    [sweep_wall_s] itself is the minimum, the usual noise-robust statistic
-   for a deterministic workload on a shared host. *)
-let bench_schema_version = 4
+   for a deterministic workload on a shared host; version 5 added the
+   optimizer axis: [sweep_wall_o2_s]/[sweep_wall_o2_runs_s] (the same
+   serial sweep compiled at -O2, min over the same repeat count) and
+   [retired_insns] (per-workload dynamic retired instructions of one
+   plain-CPU default-input run at -O0 and -O2, with totals and the
+   aggregate reduction percentage). *)
+let bench_schema_version = 5
+
+(* Dynamic retired instructions of one plain-CPU run per registry workload
+   (default input, default compile options) at the given level — the -O2
+   acceptance metric: the aggregate reduction must stay >= 15%. *)
+let retired_insns level =
+  List.map
+    (fun (w : Workload.t) ->
+      let compiled = Workload.compile ~opt:level w in
+      let machine =
+        Machine.create ~input:w.Workload.default_input
+          compiled.Compile.program
+      in
+      let r = Cpu.run_baseline machine in
+      (match r.Cpu.outcome with
+       | `Halted | `Exited _ -> ()
+       | `Faulted _ | `Fuel_exhausted ->
+         invalid_arg ("bench: retired-insn run died: " ^ w.Workload.name));
+      (w.Workload.name, r.Cpu.insns))
+    Registry.all
 
 let median sorted =
   let n = Array.length sorted in
@@ -219,10 +243,12 @@ let variance a =
     ss /. float_of_int (n - 1)
   end
 
-let write_json ~path ~sweep_walls ~baseline ~jobs rows =
+let write_json ~path ~sweep_walls ~o2_walls ~baseline ~jobs rows =
   let sorted = Array.copy sweep_walls in
   Array.sort compare sorted;
   let sweep_wall_s = sorted.(0) in
+  let o2_sorted = Array.copy o2_walls in
+  Array.sort compare o2_sorted;
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{";
   Buffer.add_string buf
@@ -248,6 +274,28 @@ let write_json ~path ~sweep_walls ~baseline ~jobs rows =
       Buffer.add_string buf (Printf.sprintf "%.3f" w))
     sweep_walls;
   Buffer.add_char buf ']';
+  Buffer.add_string buf
+    (Printf.sprintf {|,"sweep_wall_o2_s":%.3f|} o2_sorted.(0));
+  Buffer.add_string buf {|,"sweep_wall_o2_runs_s":[|};
+  Array.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%.3f" w))
+    o2_walls;
+  Buffer.add_char buf ']';
+  let o0 = retired_insns Opt.O0 and o2 = retired_insns Opt.O2 in
+  let total l = List.fold_left (fun acc (_, n) -> acc + n) 0 l in
+  let t0 = total o0 and t2 = total o2 in
+  let level_json counts t =
+    String.concat ","
+      (List.map (fun (name, n) -> Printf.sprintf {|"%s":%d|} name n) counts
+      @ [ Printf.sprintf {|"total":%d|} t ])
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|,"retired_insns":{"O0":{%s},"O2":{%s},"reduction_pct":%.2f}|}
+       (level_json o0 t0) (level_json o2 t2)
+       (100.0 *. (float_of_int (t0 - t2)) /. float_of_int t0));
   (match baseline with
    | Some b -> Buffer.add_string buf (Printf.sprintf {|,"sweep_wall_baseline_s":%.3f|} b)
    | None -> ());
@@ -256,24 +304,37 @@ let write_json ~path ~sweep_walls ~baseline ~jobs rows =
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  Printf.printf "\nwrote %s (sweep min %.2fs over %d run%s, %s profile)\n" path
-    sweep_wall_s (Array.length sweep_walls)
+  Printf.printf
+    "\nwrote %s (sweep min %.2fs, -O2 leg %.2fs, over %d run%s, %s profile; \
+     retired-insn reduction %.2f%%)\n"
+    path sweep_wall_s o2_sorted.(0)
+    (Array.length sweep_walls)
     (if Array.length sweep_walls = 1 then "" else "s")
     Build_info.profile
+    (100.0 *. float_of_int (t0 - t2) /. float_of_int t0)
 
 (* One timed serial sweep, optionally flight-recorded. The capture costs
    allocation and time, so the recorded sweep's wall time is measured but
    only the untraced configuration is comparable against historical BENCH
-   files. *)
-let timed_sweep ~trace_dir () =
-  let t0 = Unix.gettimeofday () in
-  (match trace_dir with
-   | None -> Runner.run_all ~jobs:1 ()
-   | Some dir ->
-     let (), dumps = Recorder.capture_runs (fun () -> Runner.run_all ~jobs:1 ()) in
-     let files = Recorder.save_dir ~dir dumps in
-     Printf.eprintf "traces: %d runs -> %s\n%!" (List.length files) dir);
-  Unix.gettimeofday () -. t0
+   files. [level] pins the optimizer level every compilation in the sweep
+   uses (the -O2 leg of the trajectory); the process default is restored
+   afterwards so Bechamel kernels keep benchmarking the reference
+   emission. *)
+let timed_sweep ?(level = Opt.O0) ~trace_dir () =
+  Opt.set_default level;
+  Fun.protect
+    ~finally:(fun () -> Opt.set_default Opt.O0)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      (match trace_dir with
+       | None -> Runner.run_all ~jobs:1 ()
+       | Some dir ->
+         let (), dumps =
+           Recorder.capture_runs (fun () -> Runner.run_all ~jobs:1 ())
+         in
+         let files = Recorder.save_dir ~dir dumps in
+         Printf.eprintf "traces: %d runs -> %s\n%!" (List.length files) dir);
+      Unix.gettimeofday () -. t0)
 
 let () =
   let json_path = ref "BENCH.json" in
@@ -313,25 +374,30 @@ let () =
      timing is not polluted by sibling domains. *)
   Exp_common.set_jobs 1;
   let sweep_walls = Array.make !repeat 0.0 in
+  let o2_walls = Array.make !repeat 0.0 in
   sweep_walls.(0) <- timed_sweep ~trace_dir:!trace_dir ();
   (* Repeats exist to reject scheduler noise on shared hosts: the sweep is
      deterministic, so min over repeats is the honest throughput figure.
-     Later runs print the identical report, so silence stdout for them. *)
-  if !repeat > 1 then begin
-    flush stdout;
-    let saved = Unix.dup Unix.stdout in
-    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
-    Unix.dup2 devnull Unix.stdout;
-    Unix.close devnull;
-    Fun.protect
-      ~finally:(fun () ->
-        flush stdout;
-        Unix.dup2 saved Unix.stdout;
-        Unix.close saved)
-      (fun () ->
-        for i = 1 to !repeat - 1 do
-          sweep_walls.(i) <- timed_sweep ~trace_dir:None ()
-        done)
-  end;
+     Later runs print the identical report, so silence stdout for them —
+     as do all the -O2 legs, whose report is deterministic but
+     intentionally different from the committed -O0 reference output. *)
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    (fun () ->
+      for i = 1 to !repeat - 1 do
+        sweep_walls.(i) <- timed_sweep ~trace_dir:None ()
+      done;
+      for i = 0 to !repeat - 1 do
+        o2_walls.(i) <- timed_sweep ~level:Opt.O2 ~trace_dir:None ()
+      done);
   let rows = run_bechamel ~quota:(if !smoke then 0.1 else 0.4) () in
-  write_json ~path:!json_path ~sweep_walls ~baseline:!baseline ~jobs:1 rows
+  write_json ~path:!json_path ~sweep_walls ~o2_walls ~baseline:!baseline
+    ~jobs:1 rows

@@ -74,6 +74,21 @@ let selective_arg =
   in
   Arg.(value & opt bool true & info [ "selective" ] ~docv:"BOOL" ~doc)
 
+let opt_arg =
+  let doc =
+    "Optimization level every sweep compilation uses: O0 (default, the \
+     reference emission), O1, or O2. Each level's full-sweep output is \
+     itself deterministic (byte-identical serial or under $(b,--jobs)); \
+     only O0 matches the committed reference output."
+  in
+  let parse s =
+    match Opt.of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg (Printf.sprintf "unknown optimization level '%s'" s))
+  in
+  let lvl = Arg.conv (parse, fun fmt _ -> Format.fprintf fmt "<level>") in
+  Arg.(value & opt lvl Opt.O0 & info [ "opt"; "O" ] ~docv:"LEVEL" ~doc)
+
 let trace_dir_arg =
   let doc =
     "Capture every run's flight-recorder trace (NT-Path lifecycle events in \
@@ -83,11 +98,12 @@ let trace_dir_arg =
   Arg.(
     value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
 
-let main list jobs telemetry selective trace_dir ids =
+let main list jobs telemetry selective opt trace_dir ids =
   if list then list_ids ()
   else begin
     Exp_common.set_jobs jobs;
     Pe_config.set_selective_enabled selective;
+    Opt.set_default opt;
     let run () =
       match ids with
       | [] -> Runner.run_all ()
@@ -125,6 +141,6 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ list_arg $ jobs_arg $ telemetry_arg $ selective_arg
-      $ trace_dir_arg $ ids_arg)
+      $ opt_arg $ trace_dir_arg $ ids_arg)
 
 let () = exit (Cmd.eval cmd)

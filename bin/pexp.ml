@@ -38,9 +38,32 @@ let termination_summary records =
     (count (fun r -> r.Nt_path.termination = Nt_path.T_cache_overflow))
 
 let run_one ~app ~detector ~mode ~bug ~fixing ~selective ~seed ~random_input
-    ~stats ~disasm ~trace ~trace_chrome =
+    ~stats ~disasm ~trace ~trace_chrome ~opt ~dump_pass =
   let workload = Registry.find app in
-  let compiled = Workload.compile ~detector ~fixing ?bug workload in
+  let compiled =
+    match dump_pass with
+    | None -> Workload.compile ~detector ~fixing ~opt ?bug workload
+    | Some pass ->
+      if not (List.mem pass Pipeline.pass_names) then begin
+        Printf.eprintf "unknown pass '%s' (expected one of: %s)\n" pass
+          (String.concat ", " Pipeline.pass_names);
+        exit 2
+      end;
+      (* Bypass the memo so the dump callback actually observes a fresh
+         compilation. *)
+      let dump name text =
+        if name = pass then begin
+          Printf.printf "=== after %s ===\n" name;
+          print_string text;
+          if text <> "" && text.[String.length text - 1] <> '\n' then
+            print_newline ()
+        end
+      in
+      Compile.compile
+        ~options:{ Codegen.detector; fixing }
+        ~level:opt ~dump
+        (workload.Workload.source ~bug)
+  in
   if disasm then print_string (Program.disassemble compiled.Compile.program);
   let input =
     if random_input then workload.Workload.gen_input (Rng.create seed)
@@ -168,6 +191,28 @@ let trace_arg =
           "Record the run's NT-Path lifecycle events (sim-time flight \
            recorder) and write them as JSONL to $(docv).")
 
+let opt_of_string s =
+  match Opt.of_string s with
+  | Some l -> Ok l
+  | None -> Error (Printf.sprintf "unknown optimization level '%s'" s)
+
+let opt_arg =
+  Arg.(
+    value
+    & opt (conv_of opt_of_string) Opt.O0
+    & info [ "opt"; "O" ] ~docv:"LEVEL"
+        ~doc:"Optimization level: O0 (default, reference emission), O1, O2.")
+
+let dump_pass_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-pass" ] ~docv:"NAME"
+        ~doc:
+          "Print the intermediate representation after the named pipeline \
+           pass (desugar, uniquify, fold-const, dce, remove-unused-defs, \
+           regalloc, instr-select, jump-opt, lower), then run as usual.")
+
 let trace_chrome_arg =
   Arg.(
     value
@@ -178,11 +223,11 @@ let trace_chrome_arg =
            Perfetto or chrome://tracing).")
 
 let main list app detector mode bug fixing selective seed random_input stats
-    disasm trace trace_chrome =
+    disasm trace trace_chrome opt dump_pass =
   if list then list_apps ()
   else
     run_one ~app ~detector ~mode ~bug ~fixing ~selective ~seed ~random_input
-      ~stats ~disasm ~trace ~trace_chrome
+      ~stats ~disasm ~trace ~trace_chrome ~opt ~dump_pass
 
 let cmd =
   let doc = "run a workload under a dynamic bug detector with PathExpander" in
@@ -190,6 +235,6 @@ let cmd =
     Term.(
       const main $ list_arg $ app_arg $ detector_arg $ mode_arg $ bug_arg
       $ fixing_arg $ selective_arg $ seed_arg $ random_arg $ stats_arg
-      $ disasm_arg $ trace_arg $ trace_chrome_arg)
+      $ disasm_arg $ trace_arg $ trace_chrome_arg $ opt_arg $ dump_pass_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,62 @@
+(* Label-form assembly: the IR between instruction selection and the final
+   executable image. Control targets in [code] are label references encoded
+   as [-(label + 1)] ([lref]); [labels] maps label ids to pcs. All the
+   pc-keyed side tables the final [Program.t] needs travel with the code so
+   asm-level passes (jump threading, jump-to-next compaction) can remap them
+   alongside the instructions. *)
+
+type t = {
+  code : Insn.t array;
+  labels : (int, int) Hashtbl.t;  (* label id -> pc *)
+  sites : Site.t array;
+  user_branches : int list;  (* ascending pcs *)
+  functions : (string * int) list;  (* in emission order *)
+  user_ranges : (int * int) list;
+  fix_atoms : (int * Fix_atom.t) list;  (* keyed by branch pc, ascending *)
+  source_lines : (int * int) list;  (* pc -> source line, ascending pcs *)
+}
+
+let lref l = -(l + 1)
+
+let label_of_ref t = if t >= 0 then None else Some (-t - 1)
+
+(* Pretty-print with symbolic labels ("Ln") still unresolved, one
+   instruction per line, prefixed by its pc. Labels placed at a pc are shown
+   as "Ln:" lines; function starts are annotated. *)
+let to_string ap =
+  let buf = Buffer.create 4096 in
+  let labels_at = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun l pc -> Hashtbl.replace labels_at pc (l :: (Option.value ~default:[] (Hashtbl.find_opt labels_at pc))))
+    ap.labels;
+  let fn_at = Hashtbl.create 16 in
+  List.iter (fun (name, pc) -> Hashtbl.replace fn_at pc name) ap.functions;
+  let insn_str insn =
+    (* [Insn.to_string] prints raw targets; rewrite label refs to "Ln". *)
+    let rec target_suffix = function
+      | Insn.Br (_, _, _, t) | Insn.Jmp t | Insn.Call t -> label_of_ref t
+      | Insn.Pred inner -> target_suffix inner
+      | _ -> None
+    in
+    let s = Insn.to_string insn in
+    match target_suffix insn with
+    | Some l ->
+      (match String.rindex_opt s '@' with
+       | Some i -> String.sub s 0 i ^ Printf.sprintf "L%d" l
+       | None -> s)
+    | None -> s
+  in
+  Array.iteri
+    (fun pc insn ->
+      (match Hashtbl.find_opt fn_at pc with
+       | Some name -> Buffer.add_string buf (Printf.sprintf "%s:\n" name)
+       | None -> ());
+      (match Hashtbl.find_opt labels_at pc with
+       | Some ls ->
+         List.iter
+           (fun l -> Buffer.add_string buf (Printf.sprintf "L%d:\n" l))
+           (List.sort compare ls)
+       | None -> ());
+      Buffer.add_string buf (Printf.sprintf "%4d: %s\n" pc (insn_str insn)))
+    ap.code;
+  Buffer.contents buf

@@ -1,4 +1,5 @@
-(** The MiniC code generator, including the paper's two compiler passes.
+(** Compatibility facade over the nanopass MiniC pipeline (see {!Pipeline}),
+    re-exporting the code generator's historical public surface.
 
     {b Consistency fixing} (Section 4.4): every conditional branch is laid
     out with a stub at the head of each edge. The stub holds *predicated*
@@ -19,11 +20,15 @@
 
 exception Error of string * int  (** message, line *)
 
-type detector = No_detector | Ccured | Iwatcher | Assertions
+type detector = Instr_select.detector =
+  | No_detector
+  | Ccured
+  | Iwatcher
+  | Assertions
 
 val detector_name : detector -> string
 
-type options = {
+type options = Instr_select.options = {
   detector : detector;
   fixing : bool;  (** emit the predicated consistency-fix stubs *)
 }
@@ -35,6 +40,14 @@ val default_options : options
     variable to (e.g. the true edge of [x < 5] pins [x] to 4). *)
 val boundary_value : Insn.cmp -> int -> int
 
-(** Generate an executable image from a typed program; the result is
-    validated before being returned. *)
-val generate : ?options:options -> Tast.tprogram -> Program.t
+(** Generate an executable image from a typed program via the nanopass
+    pipeline; the result is validated before being returned. [level]
+    defaults to the process-wide {!Opt.default_level} (normally [O0], the
+    emission byte-identical to the historical single-pass generator).
+    [dump] receives each executed pass's name and pretty-printed output. *)
+val generate :
+  ?options:options ->
+  ?level:Opt.level ->
+  ?dump:(string -> string -> unit) ->
+  Tast.tprogram ->
+  Program.t

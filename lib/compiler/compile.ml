@@ -9,15 +9,17 @@ type compiled = {
 }
 
 (* Compile a MiniC source string, together with the runtime prelude, into an
-   executable program image. *)
-let compile ?(options = Codegen.default_options) source =
+   executable program image. [level] picks the optimization pipeline
+   (default: the process-wide {!Opt.default_level}); [dump] observes each
+   executed pass's pretty-printed output. *)
+let compile ?(options = Codegen.default_options) ?level ?dump source =
   try
     let user, tags = Parser.parse_string source in
     let prelude, _ =
       Parser.parse_string ~first_line:Prelude.first_line Prelude.source
     in
     let tp = Typecheck.check ~user ~prelude ~tags in
-    { program = Codegen.generate ~options tp; tags }
+    { program = Codegen.generate ~options ?level ?dump tp; tags }
   with
   | Lexer.Error (msg, line) -> fail "lex" msg line
   | Parser.Error (msg, line) -> fail "parse" msg line

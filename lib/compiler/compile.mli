@@ -12,8 +12,15 @@ type compiled = {
 (** Compile a MiniC source string together with the runtime prelude.
     [options] selects the detector instrumentation and whether the
     consistency-fixing stubs are emitted (defaults: no detector, fixing
-    on). *)
-val compile : ?options:Codegen.options -> string -> compiled
+    on). [level] selects the optimization pipeline, defaulting to the
+    process-wide {!Opt.default_level}; [dump] observes each executed
+    pass's pretty-printed output (see {!Pipeline.run}). *)
+val compile :
+  ?options:Codegen.options ->
+  ?level:Opt.level ->
+  ?dump:(string -> string -> unit) ->
+  string ->
+  compiled
 
 (** Source line named by a [//@tag] marker; raises {!Error} when absent. *)
 val tag_line : compiled -> string -> int

@@ -1,0 +1,55 @@
+(* Dead-code elimination (O1+) at the statement level:
+
+   - statements following an unconditional [return] / [break] / [continue]
+     in the same list are unreachable and dropped;
+   - a statement-position expression with no effects ([Tast.is_pure]) is
+     dropped, as are pure [for] init/step components;
+   - an [if] whose branches emptied out and whose condition is pure
+     disappears entirely (its branch would otherwise still execute).
+
+   Purity is deliberately strict — memory reads count as effects because a
+   detector may be watching them (see [Tast.is_pure]), so DCE never deletes
+   a potential bug report. *)
+
+let terminates (s : Tast.tstmt) =
+  match s.Tast.tsdesc with
+  | Tast.TSreturn _ | Tast.TSbreak | Tast.TScontinue -> true
+  | _ -> false
+
+let rec clean_list stmts =
+  match stmts with
+  | [] -> []
+  | s :: rest ->
+    (match clean_stmt s with
+     | None -> clean_list rest
+     | Some s' -> if terminates s' then [ s' ] else s' :: clean_list rest)
+
+and clean_stmt (s : Tast.tstmt) : Tast.tstmt option =
+  let mk d = Some { s with Tast.tsdesc = d } in
+  match s.Tast.tsdesc with
+  | Tast.TSexpr e -> if Tast.is_pure e then None else Some s
+  | Tast.TSif (c, then_s, else_s) ->
+    let then_s = clean_list then_s and else_s = clean_list else_s in
+    if then_s = [] && else_s = [] && Tast.is_pure c then None
+    else mk (Tast.TSif (c, then_s, else_s))
+  | Tast.TSwhile (c, body) -> mk (Tast.TSwhile (c, clean_list body))
+  | Tast.TSfor (init, cond, step, body) ->
+    let drop_pure = function
+      | Some e when Tast.is_pure e -> None
+      | x -> x
+    in
+    mk (Tast.TSfor (drop_pure init, cond, drop_pure step, clean_list body))
+  | Tast.TSblock body ->
+    (match clean_list body with
+     | [] -> None
+     | body -> mk (Tast.TSblock body))
+  | Tast.TSreturn _ | Tast.TSbreak | Tast.TScontinue | Tast.TSassert _ -> Some s
+
+let run (tp : Tast.tprogram) =
+  {
+    tp with
+    Tast.tp_funcs =
+      List.map
+        (fun f -> { f with Tast.tf_body = clean_list f.Tast.tf_body })
+        tp.Tast.tp_funcs;
+  }

@@ -1,0 +1,35 @@
+(* Desugaring (O1+): normalize the typed AST so later passes see fewer
+   shapes — bare blocks are flattened into their enclosing statement list
+   (storage is already resolved, so block structure carries no scoping
+   information), and [if (!c)] is rewritten to [if (c)] with the branches
+   swapped (repeatedly, so [!!c] normalizes too). *)
+
+let rec strip_not c then_s else_s =
+  match c.Tast.tdesc with
+  | Tast.Tunop (Ast.Lnot, c') -> strip_not c' else_s then_s
+  | _ -> (c, then_s, else_s)
+
+let rec flatten_stmts stmts = List.concat_map flatten_stmt stmts
+
+and flatten_stmt (s : Tast.tstmt) =
+  match s.Tast.tsdesc with
+  | Tast.TSblock body -> flatten_stmts body
+  | Tast.TSif (c, then_s, else_s) ->
+    let c, then_s, else_s = strip_not c then_s else_s in
+    [ { s with Tast.tsdesc = Tast.TSif (c, flatten_stmts then_s, flatten_stmts else_s) } ]
+  | Tast.TSwhile (c, body) ->
+    [ { s with Tast.tsdesc = Tast.TSwhile (c, flatten_stmts body) } ]
+  | Tast.TSfor (init, cond, step, body) ->
+    [ { s with Tast.tsdesc = Tast.TSfor (init, cond, step, flatten_stmts body) } ]
+  | Tast.TSexpr _ | Tast.TSreturn _ | Tast.TSbreak | Tast.TScontinue
+  | Tast.TSassert _ ->
+    [ s ]
+
+let run (tp : Tast.tprogram) =
+  {
+    tp with
+    Tast.tp_funcs =
+      List.map
+        (fun f -> { f with Tast.tf_body = flatten_stmts f.Tast.tf_body })
+        tp.Tast.tp_funcs;
+  }

@@ -1,0 +1,155 @@
+(* Constant folding and partial evaluation (O1+), bottom-up over
+   expressions plus literal-condition statement simplification.
+
+   Arithmetic on literals is evaluated with the ISA's own semantics
+   ([Insn.eval_binop] / [Insn.eval_cmp]) so a folded result is exactly what
+   the interpreter would have computed — including shift masking and word
+   wrap-around. Division and modulo by a literal zero are *not* folded
+   ([eval_binop] returns [None]): the expression is left in place so the
+   runtime fault still happens.
+
+   Algebraic identities that drop an operand ([x * 0], [e && 0]) apply only
+   when the dropped side is pure ([Tast.is_pure]); identities that merely
+   drop a literal ([x + 0]) are always sound. Short-circuit positions
+   ([0 && e], [k || e], [c ? a : b] with literal [c]) may drop the
+   unevaluated side unconditionally, since the source semantics never
+   evaluates it. [assert] statements are simplified inside but never
+   removed, so assertion sites (and their reports) survive folding. *)
+
+let lit_of (e : Tast.texpr) n = { e with Tast.tdesc = Tast.Tint_lit n }
+
+let imm (e : Tast.texpr) =
+  match e.Tast.tdesc with Tast.Tint_lit n -> Some n | _ -> None
+
+let bool_lit e b = lit_of e (if b then 1 else 0)
+
+(* [e != 0] — the value-position residue of a half-folded && / ||. *)
+let as_bool (outer : Tast.texpr) (e : Tast.texpr) =
+  {
+    outer with
+    Tast.tdesc = Tast.Tbinop (Ast.Ne, e, { e with Tast.tdesc = Tast.Tint_lit 0 });
+  }
+
+let rec fold_expr (e : Tast.texpr) : Tast.texpr =
+  let e =
+    let d = e.Tast.tdesc in
+    let d' =
+      match d with
+      | Tast.Tint_lit _ | Tast.Tstr_addr _ | Tast.Tvar _ -> d
+      | Tast.Tunop (op, a) -> Tast.Tunop (op, fold_expr a)
+      | Tast.Tbinop (op, a, b) -> Tast.Tbinop (op, fold_expr a, fold_expr b)
+      | Tast.Tptr_add (a, b, s) -> Tast.Tptr_add (fold_expr a, fold_expr b, s)
+      | Tast.Tptr_diff (a, b, s) -> Tast.Tptr_diff (fold_expr a, fold_expr b, s)
+      | Tast.Tassign (a, b) -> Tast.Tassign (fold_expr a, fold_expr b)
+      | Tast.Tcall_fn (n, args) -> Tast.Tcall_fn (n, List.map fold_expr args)
+      | Tast.Tcall_builtin (b, args) ->
+        Tast.Tcall_builtin (b, List.map fold_expr args)
+      | Tast.Tindex (a, b, s) -> Tast.Tindex (fold_expr a, fold_expr b, s)
+      | Tast.Tderef a -> Tast.Tderef (fold_expr a)
+      | Tast.Taddr a -> Tast.Taddr (fold_expr a)
+      | Tast.Tfield (a, f) -> Tast.Tfield (fold_expr a, f)
+      | Tast.Tarrow (a, f) -> Tast.Tarrow (fold_expr a, f)
+      | Tast.Tcond (c, a, b) ->
+        Tast.Tcond (fold_expr c, fold_expr a, fold_expr b)
+    in
+    { e with Tast.tdesc = d' }
+  in
+  match e.Tast.tdesc with
+  | Tast.Tunop (op, a) ->
+    (match imm a with
+     | Some n ->
+       lit_of e
+         (match op with
+          | Ast.Neg -> -n
+          | Ast.Bnot -> lnot n
+          | Ast.Lnot -> if n = 0 then 1 else 0)
+     | None -> e)
+  | Tast.Tbinop (Ast.Land, a, b) ->
+    (match (imm a, imm b) with
+     | Some 0, _ -> lit_of e 0  (* b never evaluated *)
+     | Some _, Some n -> bool_lit e (n <> 0)
+     | Some _, None -> as_bool e b
+     | None, Some 0 when Tast.is_pure a -> lit_of e 0
+     | None, Some n when n <> 0 -> as_bool e a
+     | _ -> e)
+  | Tast.Tbinop (Ast.Lor, a, b) ->
+    (match (imm a, imm b) with
+     | Some n, _ when n <> 0 -> lit_of e 1  (* b never evaluated *)
+     | Some _, Some n -> bool_lit e (n <> 0)
+     | Some _, None -> as_bool e b
+     | None, Some n when n <> 0 && Tast.is_pure a -> lit_of e 1
+     | None, Some 0 -> as_bool e a
+     | _ -> e)
+  | Tast.Tbinop (op, a, b) ->
+    (match (imm a, imm b) with
+     | Some x, Some y ->
+       (match Instr_select.insn_binop_of_ast op with
+        | Some iop ->
+          (match Insn.eval_binop iop x y with
+           | Some v -> lit_of e v
+           | None -> e  (* division/modulo by zero: keep the fault *))
+        | None ->
+          (match Instr_select.insn_cmp_of_ast op with
+           | Some c -> bool_lit e (Insn.eval_cmp c x y)
+           | None -> e))
+     | _ -> fold_identities e op a b)
+  | Tast.Tcond (c, a, b) ->
+    (match imm c with Some n -> if n <> 0 then a else b | None -> e)
+  | _ -> e
+
+and fold_identities e op a b =
+  let pure = Tast.is_pure in
+  match (op, imm a, imm b) with
+  | Ast.Add, _, Some 0 | Ast.Sub, _, Some 0 -> a
+  | Ast.Add, Some 0, _ -> b
+  | Ast.Mul, _, Some 1 | Ast.Div, _, Some 1 -> a
+  | Ast.Mul, Some 1, _ -> b
+  | Ast.Mul, _, Some 0 when pure a -> lit_of e 0
+  | Ast.Mul, Some 0, _ when pure b -> lit_of e 0
+  | Ast.Band, _, Some 0 when pure a -> lit_of e 0
+  | Ast.Band, Some 0, _ when pure b -> lit_of e 0
+  | Ast.Band, _, Some -1 -> a
+  | Ast.Band, Some -1, _ -> b
+  | Ast.Bor, _, Some 0 | Ast.Bxor, _, Some 0 -> a
+  | Ast.Bor, Some 0, _ | Ast.Bxor, Some 0, _ -> b
+  | Ast.Shl, _, Some 0 | Ast.Shr, _, Some 0 -> a
+  | _ -> e
+
+let rec fold_stmts stmts = List.concat_map fold_stmt stmts
+
+and fold_stmt (s : Tast.tstmt) : Tast.tstmt list =
+  let mk d = { s with Tast.tsdesc = d } in
+  match s.Tast.tsdesc with
+  | Tast.TSexpr e -> [ mk (Tast.TSexpr (fold_expr e)) ]
+  | Tast.TSif (c, then_s, else_s) ->
+    let c = fold_expr c in
+    (match imm c with
+     | Some n -> fold_stmts (if n <> 0 then then_s else else_s)
+     | None -> [ mk (Tast.TSif (c, fold_stmts then_s, fold_stmts else_s)) ])
+  | Tast.TSwhile (c, body) ->
+    let c = fold_expr c in
+    (match imm c with
+     | Some 0 -> []
+     | _ -> [ mk (Tast.TSwhile (c, fold_stmts body)) ])
+  | Tast.TSfor (init, cond, step, body) ->
+    let init = Option.map fold_expr init in
+    let cond = Option.map fold_expr cond in
+    let step = Option.map fold_expr step in
+    (match Option.map imm cond with
+     | Some (Some 0) ->
+       (* loop never entered: keep the init expression's effects *)
+       (match init with Some e -> [ mk (Tast.TSexpr e) ] | None -> [])
+     | _ -> [ mk (Tast.TSfor (init, cond, step, fold_stmts body)) ])
+  | Tast.TSreturn e -> [ mk (Tast.TSreturn (Option.map fold_expr e)) ]
+  | Tast.TSassert e -> [ mk (Tast.TSassert (fold_expr e)) ]
+  | Tast.TSbreak | Tast.TScontinue -> [ s ]
+  | Tast.TSblock body -> [ mk (Tast.TSblock (fold_stmts body)) ]
+
+let run (tp : Tast.tprogram) =
+  {
+    tp with
+    Tast.tp_funcs =
+      List.map
+        (fun f -> { f with Tast.tf_body = fold_stmts f.Tast.tf_body })
+        tp.Tast.tp_funcs;
+  }

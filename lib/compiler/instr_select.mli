@@ -1,0 +1,41 @@
+(** Instruction selection: typed AST to label-form assembly ([Asmprog.t]),
+    carrying the paper's consistency-fixing stubs and detector
+    instrumentation (see the implementation header for the full story).
+    [O0] emission is instruction-identical to the historical single-pass
+    code generator; [O1+] selects immediate forms and reads
+    register-allocated variables in place. *)
+
+exception Error of string * int  (** message, line *)
+
+type detector = No_detector | Ccured | Iwatcher | Assertions
+
+val detector_name : detector -> string
+
+type options = {
+  detector : detector;
+  fixing : bool;  (** emit the predicated consistency-fix stubs *)
+}
+
+(** No detector, fixing on. *)
+val default_options : options
+
+(** Boundary value satisfying [v cmp k] — what the fix pins a condition
+    variable to (e.g. the true edge of [x < 5] pins [x] to 4). *)
+val boundary_value : Insn.cmp -> int -> int
+
+(** Number of registers in the expression-temporary bank (t0..t16; t17 is
+    the fix scratch). *)
+val expr_tmps : int
+
+val insn_binop_of_ast : Ast.binop -> Insn.binop option
+val insn_cmp_of_ast : Ast.binop -> Insn.cmp option
+
+(** Select instructions for a typed program. Defaults: [default_options],
+    [Opt.O0]. *)
+val select : ?options:options -> ?level:Opt.level -> Tast.tprogram -> Asmprog.t
+
+(** Per-function high-water mark of the expression-temporary stack, from a
+    throwaway selection run — [Regalloc]'s view of which temporaries are
+    free. *)
+val probe_tmp_highwater :
+  ?options:options -> ?level:Opt.level -> Tast.tprogram -> (string * int) list

@@ -1,0 +1,136 @@
+(* Assembly-level jump optimization over [Asmprog.t]:
+
+   - *threading*: a [Jmp]/[Br] whose target instruction is itself an
+     unconditional [Jmp] is retargeted at the final destination of the
+     chain (cycle-safe, so [while(1);] survives);
+
+   - *jump-to-next compaction*: a [Jmp] targeting the immediately following
+     pc is deleted and the code compacted, with every pc-keyed side table
+     (labels, user branches, function starts, user ranges, fix atoms,
+     source lines) remapped through the kept-instruction prefix sum.
+
+   Both transforms preserve NT-Path semantics. Branches are never moved or
+   deleted, so branch pcs, BTB counters and edge-coverage accounting keep
+   their meaning; fix stubs begin with [Pred]/[Clearpred] instructions, so
+   threading can only collapse the *unpredicated* jump chains around them,
+   and an NT-Path entering an edge observes the same machine state either
+   way. The non-taken spawn entry [br_pc + 1] is positional and stays valid
+   because the instruction after a branch (the false stub's head) is never a
+   jump-to-next by construction. *)
+
+let thread_round (ap : Asmprog.t) =
+  let changed = ref false in
+  let code = ap.Asmprog.code in
+  let final_label l0 =
+    let rec follow l visited =
+      if List.mem l visited then l0
+      else
+        match Hashtbl.find_opt ap.Asmprog.labels l with
+        | None -> l
+        | Some target_pc ->
+          if target_pc < Array.length code then
+            match code.(target_pc) with
+            | Insn.Jmp t ->
+              (match Asmprog.label_of_ref t with
+               | Some l' -> follow l' (l :: visited)
+               | None -> l)
+            | _ -> l
+          else l
+    in
+    follow l0 []
+  in
+  let retarget t =
+    match Asmprog.label_of_ref t with
+    | Some l ->
+      let l' = final_label l in
+      if l' <> l then begin
+        changed := true;
+        Asmprog.lref l'
+      end
+      else t
+    | None -> t
+  in
+  Array.iteri
+    (fun i insn ->
+      match insn with
+      | Insn.Jmp t -> code.(i) <- Insn.Jmp (retarget t)
+      | Insn.Br (c, rs, rt, t) -> code.(i) <- Insn.Br (c, rs, rt, retarget t)
+      | _ -> ())
+    code;
+  !changed
+
+let compact_round (ap : Asmprog.t) =
+  let n = Array.length ap.Asmprog.code in
+  let keep = Array.make n true in
+  let target_pc t =
+    match Asmprog.label_of_ref t with
+    | Some l -> Hashtbl.find_opt ap.Asmprog.labels l
+    | None -> Some t
+  in
+  let removed = ref 0 in
+  Array.iteri
+    (fun i insn ->
+      match insn with
+      | Insn.Jmp t when target_pc t = Some (i + 1) ->
+        keep.(i) <- false;
+        incr removed
+      | _ -> ())
+    ap.Asmprog.code;
+  if !removed = 0 then (ap, false)
+  else begin
+    (* newpc.(i) = number of kept instructions before i; a label or table
+       entry on a removed pc lands on the next kept instruction. *)
+    let newpc = Array.make (n + 1) 0 in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      newpc.(i) <- !k;
+      if keep.(i) then incr k
+    done;
+    newpc.(n) <- !k;
+    let code = Array.make !k Insn.Nop in
+    for i = 0 to n - 1 do
+      if keep.(i) then code.(newpc.(i)) <- ap.Asmprog.code.(i)
+    done;
+    let labels = Hashtbl.create (max 16 (Hashtbl.length ap.Asmprog.labels)) in
+    Hashtbl.iter
+      (fun l label_pc -> Hashtbl.replace labels l newpc.(label_pc))
+      ap.Asmprog.labels;
+    let remap p = newpc.(p) in
+    let source_lines =
+      (* When a line's only instruction is removed, its entry collapses onto
+         the next line's start pc; the later entry wins. *)
+      let tbl = Hashtbl.create 64 in
+      List.iter
+        (fun (p, line) -> Hashtbl.replace tbl (remap p) line)
+        ap.Asmprog.source_lines;
+      Hashtbl.fold (fun p line acc -> (p, line) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    ( {
+        ap with
+        Asmprog.code;
+        labels;
+        user_branches = List.map remap ap.Asmprog.user_branches;
+        functions = List.map (fun (nm, p) -> (nm, remap p)) ap.Asmprog.functions;
+        user_ranges =
+          List.map (fun (a, b) -> (remap a, remap b)) ap.Asmprog.user_ranges;
+        fix_atoms = List.map (fun (p, fa) -> (remap p, fa)) ap.Asmprog.fix_atoms;
+        source_lines;
+      },
+      true )
+  end
+
+(* Alternate threading and compaction to a fixpoint (each enables more of
+   the other); four rounds always suffice in practice and bound the pass. *)
+let run (ap : Asmprog.t) : Asmprog.t =
+  let ap = ref { ap with Asmprog.code = Array.copy ap.Asmprog.code } in
+  let continue_ = ref true in
+  let rounds = ref 0 in
+  while !continue_ && !rounds < 4 do
+    incr rounds;
+    let threaded = thread_round !ap in
+    let ap', compacted = compact_round !ap in
+    ap := ap';
+    continue_ := threaded || compacted
+  done;
+  !ap

@@ -5,6 +5,10 @@
 type storage =
   | Global of int  (* absolute word address of the object's first word *)
   | Local of int  (* fp-relative offset of the object's first word (< 0) *)
+  | Reg of Reg.t
+      (* register-allocated scalar (O2 only): a never-address-taken local
+         promoted out of the frame by [Regalloc]. Typecheck never produces
+         this. *)
 
 type var_ref = { vr_name : string; vr_ty : Ast.ty; vr_storage : storage }
 
@@ -86,3 +90,22 @@ let fixable_var texpr =
   | Tptr_diff _ | Tassign _ | Tcall_fn _ | Tcall_builtin _ | Tindex _
   | Tderef _ | Taddr _ | Tfield _ | Tarrow _ | Tcond _ ->
     None
+
+(* True when evaluating the expression has no observable effect: no stores,
+   no calls, no possible fault (division/modulo), and no memory traffic that
+   a detector could be watching (indexing, dereferences and field loads all
+   carry bounds/null checks or can touch red zones, so they count as
+   effects — dropping one would drop a potential bug report). Used by the
+   O1 constant-folding and dead-code passes. *)
+let rec is_pure (e : texpr) =
+  match e.tdesc with
+  | Tint_lit _ | Tstr_addr _ | Tvar _ -> true
+  | Tunop (_, a) -> is_pure a
+  | Tbinop ((Ast.Div | Ast.Mod), _, _) -> false
+  | Tbinop (_, a, b) -> is_pure a && is_pure b
+  | Tptr_add (a, b, _) | Tptr_diff (a, b, _) -> is_pure a && is_pure b
+  | Tcond (a, b, c) -> is_pure a && is_pure b && is_pure c
+  | Taddr { tdesc = Tvar _; _ } -> true
+  | Tassign _ | Tcall_fn _ | Tcall_builtin _ | Tindex _ | Tderef _
+  | Tfield _ | Tarrow _ | Taddr _ ->
+    false

@@ -1,0 +1,59 @@
+(* Structure-preserving rewriting over the typed AST, shared by the passes
+   that substitute variable references ([Uniquify] renames, [Regalloc]
+   re-homes storage). The callback sees every [var_ref] occurrence: [Tvar]
+   nodes, parameter lists, and the array refs carried by the watch
+   metadata. *)
+
+let rec map_expr f (e : Tast.texpr) =
+  let desc =
+    match e.Tast.tdesc with
+    | Tast.Tint_lit _ | Tast.Tstr_addr _ -> e.Tast.tdesc
+    | Tast.Tvar vr -> Tast.Tvar (f vr)
+    | Tast.Tunop (op, a) -> Tast.Tunop (op, map_expr f a)
+    | Tast.Tbinop (op, a, b) -> Tast.Tbinop (op, map_expr f a, map_expr f b)
+    | Tast.Tptr_add (a, b, s) -> Tast.Tptr_add (map_expr f a, map_expr f b, s)
+    | Tast.Tptr_diff (a, b, s) -> Tast.Tptr_diff (map_expr f a, map_expr f b, s)
+    | Tast.Tassign (a, b) -> Tast.Tassign (map_expr f a, map_expr f b)
+    | Tast.Tcall_fn (name, args) -> Tast.Tcall_fn (name, List.map (map_expr f) args)
+    | Tast.Tcall_builtin (b, args) ->
+      Tast.Tcall_builtin (b, List.map (map_expr f) args)
+    | Tast.Tindex (a, b, s) -> Tast.Tindex (map_expr f a, map_expr f b, s)
+    | Tast.Tderef a -> Tast.Tderef (map_expr f a)
+    | Tast.Taddr a -> Tast.Taddr (map_expr f a)
+    | Tast.Tfield (a, fi) -> Tast.Tfield (map_expr f a, fi)
+    | Tast.Tarrow (a, fi) -> Tast.Tarrow (map_expr f a, fi)
+    | Tast.Tcond (a, b, c) -> Tast.Tcond (map_expr f a, map_expr f b, map_expr f c)
+  in
+  { e with Tast.tdesc = desc }
+
+let rec map_stmt f (s : Tast.tstmt) =
+  let desc =
+    match s.Tast.tsdesc with
+    | Tast.TSexpr e -> Tast.TSexpr (map_expr f e)
+    | Tast.TSif (c, a, b) ->
+      Tast.TSif (map_expr f c, List.map (map_stmt f) a, List.map (map_stmt f) b)
+    | Tast.TSwhile (c, body) ->
+      Tast.TSwhile (map_expr f c, List.map (map_stmt f) body)
+    | Tast.TSfor (init, cond, step, body) ->
+      Tast.TSfor
+        ( Option.map (map_expr f) init,
+          Option.map (map_expr f) cond,
+          Option.map (map_expr f) step,
+          List.map (map_stmt f) body )
+    | Tast.TSreturn e -> Tast.TSreturn (Option.map (map_expr f) e)
+    | Tast.TSbreak | Tast.TScontinue -> s.Tast.tsdesc
+    | Tast.TSassert e -> Tast.TSassert (map_expr f e)
+    | Tast.TSblock body -> Tast.TSblock (List.map (map_stmt f) body)
+  in
+  { s with Tast.tsdesc = desc }
+
+let map_func f (fn : Tast.tfunc) =
+  {
+    fn with
+    Tast.tf_params = List.map f fn.Tast.tf_params;
+    tf_body = List.map (map_stmt f) fn.Tast.tf_body;
+    tf_local_arrays =
+      List.map
+        (fun la -> { la with Tast.la_ref = f la.Tast.la_ref })
+        fn.Tast.tf_local_arrays;
+  }

@@ -1,0 +1,160 @@
+(* Pretty-printer for the typed AST, in MiniC concrete syntax, mirroring the
+   [Ast] printer's canonical style (fully parenthesized expressions, 2-space
+   indents). Each tast-level pass exposes its output through this printer
+   for [--dump-pass] and for the printer round-trip property: for programs
+   without globals, structs or string literals, [print] emits valid MiniC
+   whose parse + typecheck prints back byte-identically.
+
+   Local declarations are reconstructed at the top of each function from the
+   storage map (typecheck hoists storage and turns initializers into plain
+   assignments, so this loses nothing). Register-allocated variables print
+   as ordinary declarations; [~annotate] adds `//` comments showing storage
+   assignments, for human consumption only. *)
+
+let builtin_name = function
+  | Tast.B_putc -> "putc"
+  | Tast.B_getc -> "getc"
+  | Tast.B_print_int -> "print_int"
+  | Tast.B_exit -> "exit"
+  | Tast.B_watch_region -> "__watch_region"
+  | Tast.B_unwatch_region -> "__unwatch_region"
+
+let rec expr_to_string (e : Tast.texpr) =
+  match e.Tast.tdesc with
+  | Tast.Tint_lit n ->
+    if n < 0 then Printf.sprintf "(-%d)" (-n) else string_of_int n
+  | Tast.Tstr_addr addr -> string_of_int addr  (* interned: address only *)
+  | Tast.Tvar vr -> vr.Tast.vr_name
+  | Tast.Tunop (op, a) ->
+    Printf.sprintf "(%s%s)" (Ast.unop_to_string op) (expr_to_string a)
+  | Tast.Tbinop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (Ast.binop_to_string op)
+      (expr_to_string b)
+  | Tast.Tptr_add (p, i, _) ->
+    Printf.sprintf "(%s + %s)" (expr_to_string p) (expr_to_string i)
+  | Tast.Tptr_diff (p, q, _) ->
+    Printf.sprintf "(%s - %s)" (expr_to_string p) (expr_to_string q)
+  | Tast.Tassign (lhs, rhs) ->
+    Printf.sprintf "(%s = %s)" (expr_to_string lhs) (expr_to_string rhs)
+  | Tast.Tcall_fn (name, args) ->
+    Printf.sprintf "%s(%s)" name
+      (String.concat ", " (List.map expr_to_string args))
+  | Tast.Tcall_builtin (b, args) ->
+    Printf.sprintf "%s(%s)" (builtin_name b)
+      (String.concat ", " (List.map expr_to_string args))
+  | Tast.Tindex (b, i, _) ->
+    Printf.sprintf "%s[%s]" (expr_to_string b) (expr_to_string i)
+  | Tast.Tderef p -> Printf.sprintf "(*%s)" (expr_to_string p)
+  | Tast.Taddr a -> Printf.sprintf "(&%s)" (expr_to_string a)
+  | Tast.Tfield (b, f) -> Printf.sprintf "%s.%s" (expr_to_string b) f.Tast.f_name
+  | Tast.Tarrow (p, f) -> Printf.sprintf "%s->%s" (expr_to_string p) f.Tast.f_name
+  | Tast.Tcond (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (expr_to_string c) (expr_to_string a)
+      (expr_to_string b)
+
+let rec stmt_to_string ~indent (s : Tast.tstmt) =
+  let pad = String.make indent ' ' in
+  let block stmts =
+    String.concat "" (List.map (stmt_to_string ~indent:(indent + 2)) stmts)
+  in
+  match s.Tast.tsdesc with
+  | Tast.TSexpr e -> Printf.sprintf "%s%s;\n" pad (expr_to_string e)
+  | Tast.TSif (c, then_s, []) ->
+    Printf.sprintf "%sif (%s) {\n%s%s}\n" pad (expr_to_string c) (block then_s)
+      pad
+  | Tast.TSif (c, then_s, else_s) ->
+    Printf.sprintf "%sif (%s) {\n%s%s} else {\n%s%s}\n" pad (expr_to_string c)
+      (block then_s) pad (block else_s) pad
+  | Tast.TSwhile (c, body) ->
+    Printf.sprintf "%swhile (%s) {\n%s%s}\n" pad (expr_to_string c) (block body)
+      pad
+  | Tast.TSfor (init, cond, step, body) ->
+    let opt = function None -> "" | Some e -> expr_to_string e in
+    Printf.sprintf "%sfor (%s; %s; %s) {\n%s%s}\n" pad (opt init) (opt cond)
+      (opt step) (block body) pad
+  | Tast.TSreturn None -> Printf.sprintf "%sreturn;\n" pad
+  | Tast.TSreturn (Some e) -> Printf.sprintf "%sreturn %s;\n" pad (expr_to_string e)
+  | Tast.TSbreak -> Printf.sprintf "%sbreak;\n" pad
+  | Tast.TScontinue -> Printf.sprintf "%scontinue;\n" pad
+  | Tast.TSassert e -> Printf.sprintf "%sassert(%s);\n" pad (expr_to_string e)
+  | Tast.TSblock body -> Printf.sprintf "%s{\n%s%s}\n" pad (block body) pad
+
+(* Collect the declarations of a function's non-parameter variables, in
+   declaration order (typecheck hands out frame offsets descending from -1,
+   so offset-descending = declaration order). Register-promoted variables
+   follow, sorted by register. *)
+let local_decls (f : Tast.tfunc) =
+  let seen = Hashtbl.create 16 in
+  let locals = ref [] and regs = ref [] in
+  let param_storages = List.map (fun vr -> vr.Tast.vr_storage) f.Tast.tf_params in
+  let note vr =
+    if
+      (not (List.mem vr.Tast.vr_storage param_storages))
+      && not (Hashtbl.mem seen vr.Tast.vr_storage)
+    then begin
+      Hashtbl.replace seen vr.Tast.vr_storage ();
+      match vr.Tast.vr_storage with
+      | Tast.Local off -> locals := (off, vr) :: !locals
+      | Tast.Reg r -> regs := (r, vr) :: !regs
+      | Tast.Global _ -> ()
+    end;
+    vr
+  in
+  ignore (Tast_map.map_func note f);
+  let by_key l = List.sort (fun (a, _) (b, _) -> compare b a) l in
+  List.map snd (by_key !locals)
+  @ List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) !regs)
+
+let decl_to_string ~annotate vr =
+  let storage_note () =
+    match vr.Tast.vr_storage with
+    | Tast.Local off -> Printf.sprintf "  // fp%+d" off
+    | Tast.Global addr -> Printf.sprintf "  // @%d" addr
+    | Tast.Reg r -> Printf.sprintf "  // %s" (Reg.name r)
+  in
+  let base =
+    match vr.Tast.vr_ty with
+    | Ast.Tarray (elt, n) ->
+      Printf.sprintf "  %s %s[%d];" (Ast.ty_to_string elt) vr.Tast.vr_name n
+    | ty -> Printf.sprintf "  %s %s;" (Ast.ty_to_string ty) vr.Tast.vr_name
+  in
+  base ^ (if annotate then storage_note () else "") ^ "\n"
+
+let func_to_string ?(annotate = false) (f : Tast.tfunc) =
+  let params =
+    String.concat ", "
+      (List.map
+         (fun vr ->
+           Ast.ty_to_string vr.Tast.vr_ty ^ " " ^ vr.Tast.vr_name
+           ^
+           if annotate then
+             match vr.Tast.vr_storage with
+             | Tast.Reg r -> " /*" ^ Reg.name r ^ "*/"
+             | _ -> ""
+           else "")
+         f.Tast.tf_params)
+  in
+  Printf.sprintf "%s %s(%s) {\n%s%s}\n"
+    (Ast.ty_to_string f.Tast.tf_ret)
+    f.Tast.tf_name params
+    (String.concat "" (List.map (decl_to_string ~annotate) (local_decls f)))
+    (String.concat "" (List.map (stmt_to_string ~indent:2) f.Tast.tf_body))
+
+(* Print the user program (prelude runtime functions are skipped unless
+   [include_runtime]; a reparse re-attaches the prelude itself). *)
+let program_to_string ?(annotate = false) ?(include_runtime = false)
+    (tp : Tast.tprogram) =
+  let funcs =
+    List.filter
+      (fun f -> include_runtime || not f.Tast.tf_is_runtime)
+      tp.Tast.tp_funcs
+  in
+  let header =
+    if annotate then
+      String.concat ""
+        (List.map
+           (fun (name, addr) -> Printf.sprintf "// global %s @%d\n" name addr)
+           tp.Tast.tp_global_vars)
+    else ""
+  in
+  header ^ String.concat "\n" (List.map (func_to_string ~annotate) funcs)

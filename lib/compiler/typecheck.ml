@@ -408,7 +408,7 @@ let install_global_init env line vr init =
   let addr =
     match vr.Tast.vr_storage with
     | Tast.Global a -> a
-    | Tast.Local _ -> assert false
+    | Tast.Local _ | Tast.Reg _ -> assert false
   in
   match init with
   | None -> ()
@@ -493,7 +493,7 @@ let check ~user ~prelude ~tags : Tast.tprogram =
         (fun name vr acc ->
           match vr.Tast.vr_storage with
           | Tast.Global addr -> (name, addr) :: acc
-          | Tast.Local _ -> acc)
+          | Tast.Local _ | Tast.Reg _ -> acc)
         env.globals [];
     tp_globals_words = env.next_global - Program.null_guard_words;
     tp_init_data = List.rev env.init_data;

@@ -1,0 +1,48 @@
+(* Uniquify (O1+): give every local variable of a function a name that is
+   unique within the function and distinct from every global. Storage is
+   already unique (typecheck never reuses a frame slot), so this pass is
+   about the *printed* form: after it, [Tast_print] output parses back to a
+   program with the same storage assignment even when the source shadowed
+   names across block scopes. Renames use the [name__2] convention. *)
+
+let uniquify_func ~global_names (f : Tast.tfunc) =
+  (* storages in first-appearance order: parameters, then body layout *)
+  let order = ref [] in
+  let note vr =
+    (match vr.Tast.vr_storage with
+     | Tast.Local _ | Tast.Reg _ ->
+       if not (List.mem_assoc vr.Tast.vr_storage !order) then
+         order := (vr.Tast.vr_storage, vr.Tast.vr_name) :: !order
+     | Tast.Global _ -> ());
+    vr
+  in
+  List.iter (fun vr -> ignore (note vr)) f.Tast.tf_params;
+  ignore (Tast_map.map_func note f);
+  let used = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace used g ()) global_names;
+  let rename = Hashtbl.create 16 in
+  List.iter
+    (fun (storage, name) ->
+      let final =
+        if not (Hashtbl.mem used name) then name
+        else
+          let rec next i =
+            let cand = Printf.sprintf "%s__%d" name i in
+            if Hashtbl.mem used cand then next (i + 1) else cand
+          in
+          next 2
+      in
+      Hashtbl.replace used final ();
+      Hashtbl.replace rename storage final)
+    (List.rev !order);
+  Tast_map.map_func
+    (fun vr ->
+      match vr.Tast.vr_storage with
+      | Tast.Local _ | Tast.Reg _ ->
+        { vr with Tast.vr_name = Hashtbl.find rename vr.Tast.vr_storage }
+      | Tast.Global _ -> vr)
+    f
+
+let run (tp : Tast.tprogram) =
+  let global_names = List.map fst tp.Tast.tp_global_vars in
+  { tp with Tast.tp_funcs = List.map (uniquify_func ~global_names) tp.Tast.tp_funcs }

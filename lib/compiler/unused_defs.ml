@@ -1,0 +1,58 @@
+(* Unused-definition removal (O1+): drop functions unreachable from [main]
+   in the static call graph. MiniC has no function pointers, so [Tcall_fn]
+   edges are the whole graph and removal is exact — typically this strips
+   the prelude runtime helpers (allocator, printing) a workload never calls,
+   shrinking the image. Relative definition order is preserved, so function
+   labels and layout stay deterministic. *)
+
+let rec calls_in_expr acc (e : Tast.texpr) =
+  match e.Tast.tdesc with
+  | Tast.Tint_lit _ | Tast.Tstr_addr _ | Tast.Tvar _ -> acc
+  | Tast.Tunop (_, a) | Tast.Tderef a | Tast.Taddr a | Tast.Tfield (a, _)
+  | Tast.Tarrow (a, _) ->
+    calls_in_expr acc a
+  | Tast.Tbinop (_, a, b)
+  | Tast.Tptr_add (a, b, _)
+  | Tast.Tptr_diff (a, b, _)
+  | Tast.Tassign (a, b)
+  | Tast.Tindex (a, b, _) ->
+    calls_in_expr (calls_in_expr acc a) b
+  | Tast.Tcall_fn (name, args) ->
+    List.fold_left calls_in_expr (name :: acc) args
+  | Tast.Tcall_builtin (_, args) -> List.fold_left calls_in_expr acc args
+  | Tast.Tcond (a, b, c) ->
+    calls_in_expr (calls_in_expr (calls_in_expr acc a) b) c
+
+let rec calls_in_stmt acc (s : Tast.tstmt) =
+  match s.Tast.tsdesc with
+  | Tast.TSexpr e | Tast.TSassert e -> calls_in_expr acc e
+  | Tast.TSif (c, a, b) ->
+    List.fold_left calls_in_stmt
+      (List.fold_left calls_in_stmt (calls_in_expr acc c) a)
+      b
+  | Tast.TSwhile (c, body) ->
+    List.fold_left calls_in_stmt (calls_in_expr acc c) body
+  | Tast.TSfor (init, cond, step, body) ->
+    let acc = List.fold_left calls_in_expr acc (List.filter_map Fun.id [ init; cond; step ]) in
+    List.fold_left calls_in_stmt acc body
+  | Tast.TSreturn (Some e) -> calls_in_expr acc e
+  | Tast.TSreturn None | Tast.TSbreak | Tast.TScontinue -> acc
+  | Tast.TSblock body -> List.fold_left calls_in_stmt acc body
+
+let run (tp : Tast.tprogram) =
+  let by_name = Hashtbl.create 32 in
+  List.iter (fun f -> Hashtbl.replace by_name f.Tast.tf_name f) tp.Tast.tp_funcs;
+  let reachable = Hashtbl.create 32 in
+  let rec visit name =
+    if (not (Hashtbl.mem reachable name)) && Hashtbl.mem by_name name then begin
+      Hashtbl.replace reachable name ();
+      let f = Hashtbl.find by_name name in
+      List.iter visit (List.fold_left calls_in_stmt [] f.Tast.tf_body)
+    end
+  in
+  visit "main";
+  {
+    tp with
+    Tast.tp_funcs =
+      List.filter (fun f -> Hashtbl.mem reachable f.Tast.tf_name) tp.Tast.tp_funcs;
+  }

@@ -37,18 +37,10 @@ type t =
   | D_nop
 
 (* Non-faulting binop evaluation; [Div]/[Mod] never reach here (decode
-   splits them into [D_div]/[D_mod]). Semantics match [Insn.eval_binop]. *)
-let eval_alu op a b =
-  match op with
-  | Insn.Add -> a + b
-  | Insn.Sub -> a - b
-  | Insn.Mul -> a * b
-  | Insn.And -> a land b
-  | Insn.Or -> a lor b
-  | Insn.Xor -> a lxor b
-  | Insn.Shl -> a lsl (b land 63)
-  | Insn.Shr -> a asr (b land 63)
-  | Insn.Div | Insn.Mod -> assert false
+   splits them into [D_div]/[D_mod]). Alias of the single authoritative
+   implementation in [Insn] — PR 4 had to fix the same shift-mask bug in
+   two hand-kept copies of this table. *)
+let eval_alu = Insn.eval_alu
 
 let rec decode_insn insn =
   match insn with

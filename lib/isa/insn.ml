@@ -68,18 +68,26 @@ let sys_name = function
   | Sys_print_int -> "print_int"
   | Sys_exit -> "exit"
 
+(* Single source of truth for ALU semantics. [eval_binop] (the faulting
+   wrapper) and [Decode.eval_alu] (the hot-loop alias) both resolve here, so
+   a semantics fix lands exactly once. *)
+let eval_alu op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 63)
+  | Shr -> a asr (b land 63)
+  | Div | Mod -> assert false
+
 let eval_binop op a b =
   match op with
-  | Add -> Some (a + b)
-  | Sub -> Some (a - b)
-  | Mul -> Some (a * b)
   | Div -> if b = 0 then None else Some (a / b)
   | Mod -> if b = 0 then None else Some (a mod b)
-  | And -> Some (a land b)
-  | Or -> Some (a lor b)
-  | Xor -> Some (a lxor b)
-  | Shl -> Some (a lsl (b land 63))
-  | Shr -> Some (a asr (b land 63))
+  | Add | Sub | Mul | And | Or | Xor | Shl | Shr -> Some (eval_alu op a b)
 
 let eval_cmp c a b =
   match c with

@@ -63,6 +63,11 @@ val binop_name : binop -> string
 val cmp_name : cmp -> string
 val sys_name : sys -> string
 
+(** Evaluate a non-faulting binop. The single source of truth for ALU
+    semantics ([eval_binop] and [Decode.eval_alu] both resolve here).
+    Raises [Assert_failure] on [Div]/[Mod]. *)
+val eval_alu : binop -> int -> int -> int
+
 (** [eval_binop op a b] is [None] on division/modulo by zero. *)
 val eval_binop : binop -> int -> int -> int option
 

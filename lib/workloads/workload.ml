@@ -36,8 +36,12 @@ let find_bug workload version =
 let compile_memo = Hashtbl.create 64
 let compile_mutex = Mutex.create ()
 
-let compile ?(detector = Codegen.No_detector) ?(fixing = true) ?bug workload =
-  let key = (workload.name, detector, fixing, bug) in
+let compile ?(detector = Codegen.No_detector) ?(fixing = true) ?opt ?bug
+    workload =
+  let level =
+    match opt with Some l -> l | None -> Opt.default_level ()
+  in
+  let key = (workload.name, detector, fixing, bug, level) in
   Mutex.lock compile_mutex;
   let cached = Hashtbl.find_opt compile_memo key in
   Mutex.unlock compile_mutex;
@@ -45,7 +49,9 @@ let compile ?(detector = Codegen.No_detector) ?(fixing = true) ?bug workload =
   | Some compiled -> compiled
   | None ->
     let options = { Codegen.detector; fixing } in
-    let compiled = Compile.compile ~options (workload.source ~bug) in
+    let compiled =
+      Compile.compile ~options ~level (workload.source ~bug)
+    in
     Mutex.lock compile_mutex;
     if not (Hashtbl.mem compile_memo key) then
       Hashtbl.add compile_memo key compiled;

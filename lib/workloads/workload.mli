@@ -25,9 +25,17 @@ val bug_count : t -> int
 (** Raises [Invalid_argument] on an unknown version. *)
 val find_bug : t -> int -> Bug.t
 
-(** Compile the workload, optionally with one planted bug version. *)
+(** Compile the workload, optionally with one planted bug version. [opt]
+    selects the optimization level (default: the process-wide
+    {!Opt.default_level}); results are memoised per
+    workload×detector×fixing×bug×level. *)
 val compile :
-  ?detector:Codegen.detector -> ?fixing:bool -> ?bug:int -> t -> Compile.compiled
+  ?detector:Codegen.detector ->
+  ?fixing:bool ->
+  ?opt:Opt.level ->
+  ?bug:int ->
+  t ->
+  Compile.compiled
 
 (** PathExpander configuration with this workload's NT-Path budget. *)
 val pe_config : ?mode:Pe_config.mode -> t -> Pe_config.t

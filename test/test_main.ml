@@ -7,6 +7,7 @@ let () =
       ("machine", Test_machine.tests);
       ("cpu", Test_cpu.tests);
       ("compiler", Test_compiler.tests);
+      ("passes", Test_passes.tests);
       ("engine", Test_engine.tests);
       ("softpe", Test_softpe.tests);
       ("detectors", Test_detectors.tests);
