@@ -205,8 +205,14 @@ let run_bechamel ~quota () =
    serial sweep compiled at -O2, min over the same repeat count) and
    [retired_insns] (per-workload dynamic retired instructions of one
    plain-CPU default-input run at -O0 and -O2, with totals and the
-   aggregate reduction percentage). *)
-let bench_schema_version = 5
+   aggregate reduction percentage); version 6 added the occupancy axis:
+   [fast_tier_fraction] (fraction of simulated instructions — taken path
+   plus NT-Paths, over one standard-mode default-input run of every
+   registry workload — retired by the selective fast tier) and
+   [memo_hit_rate] (fraction of primary-L1 probes answered by the MRU
+   memo layer in the same runs). Both are deterministic, so CI gates on
+   them directly rather than on a noisy wall time. *)
+let bench_schema_version = 6
 
 (* Dynamic retired instructions of one plain-CPU run per registry workload
    (default input, default compile options) at the given level — the -O2
@@ -226,6 +232,32 @@ let retired_insns level =
          invalid_arg ("bench: retired-insn run died: " ^ w.Workload.name));
       (w.Workload.name, r.Cpu.insns))
     Registry.all
+
+(* Aggregate execution-tier and cache-memo occupancy over one standard-mode
+   default-input run of every registry workload — the deterministic
+   counters behind [fast_tier_fraction] and [memo_hit_rate]. The runs are
+   simulation-exact, so these fractions are byte-stable across hosts and a
+   drop is a real occupancy regression, never timing noise. *)
+let occupancy_fractions () =
+  let fast, insns, memo, probes =
+    List.fold_left
+      (fun (fast, insns, memo, probes) (w : Workload.t) ->
+        let compiled = Workload.compile w in
+        let machine =
+          Machine.create ~input:w.Workload.default_input
+            compiled.Compile.program
+        in
+        let _ = Engine.run ~config:(Workload.pe_config w) machine in
+        Machine.release machine;
+        let c = Telemetry.counter machine.Machine.telemetry in
+        ( fast + c "selective.fast_insns" + c "nt.fast_insns",
+          insns + c "taken.insns" + c "nt.insns",
+          memo + c "l1.primary.memo_hits",
+          probes + c "l1.primary.hits" + c "l1.primary.misses" ))
+      (0, 0, 0, 0) Registry.all
+  in
+  let frac a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+  (frac fast insns, frac memo probes)
 
 let median sorted =
   let n = Array.length sorted in
@@ -296,6 +328,10 @@ let write_json ~path ~sweep_walls ~o2_walls ~baseline ~jobs rows =
        {|,"retired_insns":{"O0":{%s},"O2":{%s},"reduction_pct":%.2f}|}
        (level_json o0 t0) (level_json o2 t2)
        (100.0 *. (float_of_int (t0 - t2)) /. float_of_int t0));
+  let fast_tier_fraction, memo_hit_rate = occupancy_fractions () in
+  Buffer.add_string buf
+    (Printf.sprintf {|,"fast_tier_fraction":%.4f,"memo_hit_rate":%.4f|}
+       fast_tier_fraction memo_hit_rate);
   (match baseline with
    | Some b -> Buffer.add_string buf (Printf.sprintf {|,"sweep_wall_baseline_s":%.3f|} b)
    | None -> ());

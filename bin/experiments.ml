@@ -98,7 +98,16 @@ let trace_dir_arg =
   Arg.(
     value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
 
-let main list jobs telemetry selective opt trace_dir ids =
+let obs_dir_arg =
+  let doc =
+    "Capture every run's Coverage Observatory snapshot (frontier \
+     attribution, prime-path coverage, tier occupancy) and write one JSON \
+     file per run into $(docv). File names and contents are deterministic: \
+     byte-identical serial or under $(b,--jobs)."
+  in
+  Arg.(value & opt (some string) None & info [ "obs-dir" ] ~docv:"DIR" ~doc)
+
+let main list jobs telemetry selective opt trace_dir obs_dir ids =
   if list then list_ids ()
   else begin
     Exp_common.set_jobs jobs;
@@ -118,6 +127,17 @@ let main list jobs telemetry selective opt trace_dir ids =
         let v, dumps = Recorder.capture_runs run in
         let files = Recorder.save_dir ~dir dumps in
         Printf.eprintf "traces: %d runs -> %s\n%!" (List.length files) dir;
+        v
+    in
+    (* Observatory capture composes the same way; it also arms the engine's
+       per-run attribution bookkeeping for the duration of the sweep. *)
+    let run () =
+      match obs_dir with
+      | None -> run ()
+      | Some dir ->
+        let v, snaps = Obs.capture_runs run in
+        let files = Obs.save_dir ~dir snaps in
+        Printf.eprintf "obs: %d runs -> %s\n%!" (List.length files) dir;
         v
     in
     match telemetry with
@@ -141,6 +161,6 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ list_arg $ jobs_arg $ telemetry_arg $ selective_arg
-      $ opt_arg $ trace_dir_arg $ ids_arg)
+      $ opt_arg $ trace_dir_arg $ obs_dir_arg $ ids_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -38,7 +38,7 @@ let termination_summary records =
     (count (fun r -> r.Nt_path.termination = Nt_path.T_cache_overflow))
 
 let run_one ~app ~detector ~mode ~bug ~fixing ~selective ~seed ~random_input
-    ~stats ~disasm ~trace ~trace_chrome ~opt ~dump_pass =
+    ~stats ~disasm ~trace ~trace_chrome ~opt ~dump_pass ~obs ~prometheus =
   let workload = Registry.find app in
   let compiled =
     match dump_pass with
@@ -77,7 +77,32 @@ let run_one ~app ~detector ~mode ~bug ~fixing ~selective ~seed ~random_input
   let config =
     { (Workload.pe_config ~mode workload) with Pe_config.fixing; selective }
   in
+  (* Arm the observatory's per-run bookkeeping (deopt-cause classification,
+     NT sequence stamps) before the run when a snapshot was requested. *)
+  if obs <> None then Pe_config.set_obs_enabled true;
+  if obs <> None || prometheus <> None then
+    Telemetry.set_label machine.Machine.telemetry
+      (Printf.sprintf "%s/%s" app (Pe_config.mode_name mode));
   let result = Engine.run ~config machine in
+  (match obs with
+   | None -> ()
+   | Some file ->
+     let snap =
+       Obs.snapshot
+         ~label:(Printf.sprintf "%s/%s" app (Pe_config.mode_name mode))
+         ~program:compiled.Compile.program ~machine ~result ~config
+     in
+     let oc = open_out file in
+     output_string oc (Obs.to_json snap ^ "\n");
+     close_out oc;
+     Printf.eprintf "obs: snapshot -> %s\n%!" file);
+  (match prometheus with
+   | None -> ()
+   | Some file ->
+     let oc = open_out file in
+     output_string oc (Telemetry.to_prometheus machine.Machine.telemetry);
+     close_out oc;
+     Printf.eprintf "prometheus: metrics -> %s\n%!" file);
   (* Flight-recorder exports before the human-readable report, so a crash in
      the analysis below can't lose a captured trace. *)
   let dump () =
@@ -213,6 +238,25 @@ let dump_pass_arg =
            pass (desugar, uniquify, fold-const, dce, remove-unused-defs, \
            regalloc, instr-select, jump-opt, lower), then run as usual.")
 
+let obs_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's Coverage Observatory snapshot (frontier \
+           attribution, prime-path coverage, tier occupancy) as one JSON \
+           object to $(docv).")
+
+let prometheus_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prometheus" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's telemetry in the Prometheus text exposition \
+           format to $(docv).")
+
 let trace_chrome_arg =
   Arg.(
     value
@@ -223,11 +267,11 @@ let trace_chrome_arg =
            Perfetto or chrome://tracing).")
 
 let main list app detector mode bug fixing selective seed random_input stats
-    disasm trace trace_chrome opt dump_pass =
+    disasm trace trace_chrome opt dump_pass obs prometheus =
   if list then list_apps ()
   else
     run_one ~app ~detector ~mode ~bug ~fixing ~selective ~seed ~random_input
-      ~stats ~disasm ~trace ~trace_chrome ~opt ~dump_pass
+      ~stats ~disasm ~trace ~trace_chrome ~opt ~dump_pass ~obs ~prometheus
 
 let cmd =
   let doc = "run a workload under a dynamic bug detector with PathExpander" in
@@ -235,6 +279,7 @@ let cmd =
     Term.(
       const main $ list_arg $ app_arg $ detector_arg $ mode_arg $ bug_arg
       $ fixing_arg $ selective_arg $ seed_arg $ random_arg $ stats_arg
-      $ disasm_arg $ trace_arg $ trace_chrome_arg $ opt_arg $ dump_pass_arg)
+      $ disasm_arg $ trace_arg $ trace_chrome_arg $ opt_arg $ dump_pass_arg
+      $ obs_arg $ prometheus_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -21,6 +21,14 @@ type t = {
   line_taken : Bytes.t;
   line_nt : Bytes.t;
   line_universe : int;
+  (* Frontier attribution (observatory only, armed per run): when armed,
+     [nt_seq.(edge)] remembers the 1-based ordinal of the NT-Path that
+     *first* covered the edge, so an uncovered sibling edge can be blamed on
+     that path's termination cause. [cur_seq] is the ordinal of the NT-Path
+     currently executing (0 on the taken path). *)
+  mutable attr_armed : bool;
+  mutable cur_seq : int;
+  mutable nt_seq : int array;
 }
 
 let create program =
@@ -51,6 +59,9 @@ let create program =
     line_taken = Bytes.make (max_line + 1) '\000';
     line_nt = Bytes.make (max_line + 1) '\000';
     line_universe = Hashtbl.length distinct;
+    attr_armed = false;
+    cur_seq = 0;
+    nt_seq = [||];
   }
 
 let[@inline always] in_universe cov pc =
@@ -64,8 +75,50 @@ let[@inline always] record_taken cov pc direction =
     Bytes.unsafe_set cov.taken (edge_index pc direction) '\001'
 
 let[@inline always] record_nt cov pc direction =
-  if in_universe cov pc then
-    Bytes.unsafe_set cov.nt (edge_index pc direction) '\001'
+  if in_universe cov pc then begin
+    let i = edge_index pc direction in
+    Bytes.unsafe_set cov.nt i '\001';
+    (* attribution bookkeeping: one predictable-false branch when unarmed *)
+    if cov.attr_armed && Array.unsafe_get cov.nt_seq i = 0 then
+      Array.unsafe_set cov.nt_seq i cov.cur_seq
+  end
+
+(* ---- Observatory hooks (DESIGN.md §15) ---- *)
+
+let arm_attribution cov =
+  cov.attr_armed <- true;
+  if Array.length cov.nt_seq = 0 then
+    cov.nt_seq <- Array.make (Bytes.length cov.nt) 0
+
+(* Ordinal (1-based) of the NT-Path about to run; 0 = back on taken path. *)
+let set_nt_seq cov seq = cov.cur_seq <- seq
+
+(* Ordinal of the NT-Path that first covered the edge; 0 when the edge was
+   never covered inside an NT-Path (or attribution was not armed). *)
+let nt_first_seq cov pc direction =
+  let i = edge_index pc direction in
+  if i >= 0 && i < Array.length cov.nt_seq then cov.nt_seq.(i) else 0
+
+let covered_taken_edge cov pc direction =
+  let i = edge_index pc direction in
+  i >= 0 && i < Bytes.length cov.taken && Bytes.get cov.taken i = '\001'
+
+let covered_nt_edge cov pc direction =
+  let i = edge_index pc direction in
+  i >= 0 && i < Bytes.length cov.nt && Bytes.get cov.nt i = '\001'
+
+let covered_edge cov pc direction =
+  covered_taken_edge cov pc direction || covered_nt_edge cov pc direction
+
+(* Combined statement coverage of the source line generating [pc]; false for
+   runtime code (line 0 is the sentinel slot, never a user line). *)
+let pc_line_covered cov pc =
+  pc >= 0
+  && pc < Array.length cov.line_of
+  &&
+  let l = cov.line_of.(pc) in
+  l > 0
+  && (Bytes.get cov.line_taken l = '\001' || Bytes.get cov.line_nt l = '\001')
 
 (* Statement coverage: called once per retired instruction, so the store is
    unconditional — runtime code maps to line 0, whose bitmap slot is a

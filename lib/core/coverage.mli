@@ -43,3 +43,31 @@ val stmt_combined_pct : t -> float
 
 (** Union [src]'s coverage into [dst] (cumulative coverage over inputs). *)
 val merge_into : dst:t -> t -> unit
+
+(** {2 Observatory hooks (DESIGN.md §15)}
+
+    Frontier attribution needs to read individual edges back out of the
+    bitmaps and to know {e which} NT-Path first covered an edge. The
+    per-edge sequence array is only allocated (and the recording branch only
+    taken) once {!arm_attribution} runs, so unobserved runs pay one
+    predictable-false test per NT edge record. *)
+
+(** Arm per-edge NT-Path attribution for this run. *)
+val arm_attribution : t -> unit
+
+(** Ordinal (1-based) of the NT-Path about to execute; 0 = taken path. *)
+val set_nt_seq : t -> int -> unit
+
+(** Ordinal of the NT-Path that first covered the edge, 0 if none (or
+    attribution unarmed). *)
+val nt_first_seq : t -> int -> bool -> int
+
+val covered_taken_edge : t -> int -> bool -> bool
+val covered_nt_edge : t -> int -> bool -> bool
+
+(** Edge in the combined (taken ∪ NT) set. *)
+val covered_edge : t -> int -> bool -> bool
+
+(** Combined statement coverage of the source line generating [pc]; false
+    for runtime-library pcs. *)
+val pc_line_covered : t -> int -> bool

@@ -34,6 +34,10 @@ type result = {
   fast_insns : int;
       (* taken-path instructions retired on the selective fast tier *)
   fast_segments : int;  (* fast segments executed (deoptimization count + 1) *)
+  skipped_edges : int list;
+      (* observatory only: encoded edges (2*pc + dir) whose spawn was
+         suppressed by the CMP outstanding-path budget, sorted distinct;
+         [] when the observatory is unarmed *)
 }
 
 let outcome_name = function
@@ -89,6 +93,21 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
   let program = machine.Machine.program in
   let ctx = Machine.main_context machine in
   let coverage = Coverage.create program in
+  (* Coverage Observatory (DESIGN.md §15): when armed process-wide, collect
+     frontier-attribution bookkeeping (which NT-Path first covered each
+     edge, which edges lost their spawn to the budget) and tier/deopt-cause
+     counters. All of it is pure observation — arming changes no simulated
+     behaviour, so observed and unobserved runs stay byte-identical. *)
+  let obs = Pe_config.obs_on () in
+  if obs then Coverage.arm_attribution coverage;
+  let skipped_edge_set = Hashtbl.create 16 in
+  let d_branch = ref 0
+  and d_syscall = ref 0
+  and d_watch = ref 0
+  and d_detector = ref 0
+  and d_fault = ref 0
+  and d_other = ref 0
+  and pinned_insns = ref 0 in
   let nt_records = ref [] in
   let spawns = ref 0 in
   let skipped = ref 0 in
@@ -222,11 +241,15 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
         ~entry_pc:entry;
       Recorder.set_base recorder now
     end;
+    (* Attribution: edges this path records are stamped with its 1-based
+       spawn ordinal, which indexes the run's [nt_records] (spawn order). *)
+    if obs then Coverage.set_nt_seq coverage !spawns;
     let record =
       Nt_path.run ?fix_override machine config coverage ~arena:nt_arena ~l1
         ~regs:ctx.Context.regs ~entry ~spawn_br_pc:br_pc ~forced_direction
         ~path_id
     in
+    if obs then Coverage.set_nt_seq coverage 0;
     if Recorder.enabled recorder then Recorder.set_base recorder 0;
     Telemetry.hist_observe h_len record.Nt_path.insns;
     Telemetry.hist_observe h_dirty record.Nt_path.squashed_lines;
@@ -252,8 +275,13 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
   let spawn_cmp ~entry ~br_pc ~forced_direction =
     let now = ctx.Context.stats.Context.cycles in
     cmp.active_finish <- List.filter (fun f -> f > now) cmp.active_finish;
-    if List.length cmp.active_finish >= config.Pe_config.max_num_nt_paths then
-      incr skipped
+    if List.length cmp.active_finish >= config.Pe_config.max_num_nt_paths then begin
+      incr skipped;
+      if obs then
+        Hashtbl.replace skipped_edge_set
+          ((2 * br_pc) + if forced_direction then 1 else 0)
+          ()
+    end
     else begin
       incr spawns;
       (* Register copy to the idle core: spawn overhead on the primary. *)
@@ -364,6 +392,28 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
   let fast_insns = ref 0 in
   let fast_segments = ref 0 in
   let fast_branch_bits = ref 0 in
+  (* Observatory: why did the fast tier hand this pc to the instrumented
+     tier? The fast tier stops *before* executing a special instruction, so
+     the cause is readable from the decoded image at the current pc. *)
+  let classify_deopt () =
+    let pc = ctx.Context.pc in
+    let dcode = machine.Machine.dcode in
+    if pc < 0 || pc >= Array.length dcode then incr d_fault
+    else
+      let rec go = function
+        | Decode.D_syscall _ -> incr d_syscall
+        | Decode.D_watch _ | Decode.D_unwatch _ -> incr d_watch
+        | Decode.D_checkz _ -> incr d_detector
+        | Decode.D_div _ | Decode.D_mod _ | Decode.D_divi _ | Decode.D_modi _
+        | Decode.D_load _ | Decode.D_store _ | Decode.D_call _ | Decode.D_ret
+        | Decode.D_push _ | Decode.D_pop _ ->
+          (* memory/divisor operands the fast tier refused to touch *)
+          incr d_fault
+        | Decode.D_pred d -> go d
+        | _ -> incr d_other
+      in
+      go dcode.(pc)
+  in
   let rec loop () =
     if ctx.Context.stats.Context.insns >= fuel then `Fuel_exhausted
     else begin
@@ -397,11 +447,23 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
         end;
         match fstop with
         | Fast_loop.Budget -> loop ()
-        | Fast_loop.Special -> step_slow (-1)
-        | Fast_loop.Special_branch_taken -> step_slow 1
-        | Fast_loop.Special_branch_nontaken -> step_slow 0
+        | Fast_loop.Special ->
+          if obs then classify_deopt ();
+          step_slow (-1)
+        | Fast_loop.Special_branch_taken ->
+          if obs then incr d_branch;
+          step_slow 1
+        | Fast_loop.Special_branch_nontaken ->
+          if obs then incr d_branch;
+          step_slow 0
       end
-      else step_slow (-1)
+      else begin
+        (* Instrumented-tier instruction outside the fast/slow split: either
+           selective execution is off for this run, or active watchpoints /
+           a store hook pin execution to the instrumented tier. *)
+        if obs && selective_ok then incr pinned_insns;
+        step_slow (-1)
+      end
     end
   (* One instruction on the fully instrumented tier — the deoptimization
      target for fast-segment stops, and the whole interpreter when selective
@@ -448,6 +510,17 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
     Telemetry.count tel "selective.segments" !fast_segments;
     Telemetry.count tel "selective.fast_branch_bits" !fast_branch_bits
   end;
+  if obs then begin
+    (* Deopt-cause histogram and tier pinning, exported only when the
+       observatory is armed so unobserved telemetry output is unchanged. *)
+    Telemetry.count tel "obs.deopt.branch" !d_branch;
+    Telemetry.count tel "obs.deopt.syscall" !d_syscall;
+    Telemetry.count tel "obs.deopt.watch" !d_watch;
+    Telemetry.count tel "obs.deopt.detector" !d_detector;
+    Telemetry.count tel "obs.deopt.fault" !d_fault;
+    Telemetry.count tel "obs.deopt.other" !d_other;
+    Telemetry.count tel "obs.pinned_insns" !pinned_insns
+  end;
   Telemetry.count tel "taken.insns" ctx.Context.stats.Context.insns;
   Telemetry.count tel "taken.branches" ctx.Context.stats.Context.branches;
   Telemetry.count tel "taken.cycles" taken_cycles;
@@ -487,4 +560,7 @@ let run ?(config = Pe_config.default) ?(fuel = 100_000_000) machine =
     coverage;
     fast_insns = !fast_insns;
     fast_segments = !fast_segments;
+    skipped_edges =
+      List.sort_uniq compare
+        (Hashtbl.fold (fun k () acc -> k :: acc) skipped_edge_set []);
   }

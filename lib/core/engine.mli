@@ -31,6 +31,10 @@ type result = {
       (** number of fast segments executed — each ends at a deoptimization
           point (spawn-candidate branch, syscall, detector event, fault) or
           a fuel/counter-reset boundary *)
+  skipped_edges : int list;
+      (** Coverage Observatory only (armed via {!Pe_config.set_obs_enabled}):
+          encoded edges [2*pc + dir] whose spawn was suppressed by the CMP
+          outstanding-path budget, sorted distinct; [[]] when unarmed *)
 }
 
 val outcome_name : outcome -> string

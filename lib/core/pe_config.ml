@@ -27,6 +27,16 @@ let set_selective_enabled b = Atomic.set selective_enabled b
 
 let selective_on config = config.selective && Atomic.get selective_enabled
 
+(* Process-wide observatory arm switch (same shape as the selective kill
+   switch): when set, runs collect frontier-attribution bookkeeping and
+   deopt-cause counters for the Coverage Observatory. Off by default — the
+   observatory must not perturb unobserved sweeps. *)
+let obs_enabled = Atomic.make false
+
+let set_obs_enabled b = Atomic.set obs_enabled b
+
+let obs_on () = Atomic.get obs_enabled
+
 (* Paper defaults (Section 6.3): threshold 5, 1000-instruction NT-Paths, 32
    outstanding NT-Paths for the CMP option. *)
 let default =

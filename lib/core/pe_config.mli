@@ -61,6 +61,13 @@ val set_selective_enabled : bool -> unit
     process-wide switch. *)
 val selective_on : t -> bool
 
+(** Process-wide Coverage Observatory switch (DESIGN.md §15): when armed,
+    runs collect frontier-attribution bookkeeping and deopt-cause counters.
+    Off by default; arming must not change any observable run output. *)
+val set_obs_enabled : bool -> unit
+
+val obs_on : unit -> bool
+
 val default : t
 val baseline : t
 val siemens : t

@@ -39,6 +39,14 @@ let run_app ?(detector = Codegen.No_detector) ?(fixing = true) ?bug
        (Pe_config.mode_name config.Pe_config.mode)
        (match bug with Some b -> Printf.sprintf "/v%d" b | None -> ""));
   let result = Engine.run ~config machine in
+  (* Observatory capture happens before release only by convention — release
+     recycles the simulated address space, and the snapshot reads coverage,
+     BTB and telemetry, all of which survive it. *)
+  if Obs.armed () then
+    Obs.submit
+      (Obs.snapshot
+         ~label:(Telemetry.label machine.Machine.telemetry)
+         ~program:compiled.Compile.program ~machine ~result ~config);
   (* The run is over; callers only consult reports/output/telemetry, so the
      simulated address space can go back to the pool now. *)
   Machine.release machine;

@@ -70,6 +70,10 @@ type t = {
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
+  (* fast-path attribution (subsets of [hits]): memo-layer hits — including
+     batched [memo_probe]+[add_hits] credits — and verified tag-filter hits *)
+  mutable memo_hits : int;
+  mutable filter_hits : int;
   mutable fastpath : bool;  (* memo + filter enabled (kill switch) *)
   (* MRU line memo, entry 0 newest. [memo_laddr*] is the line address or
      [min_int] (never a real line address) when dead; [memo_owner*] mirrors
@@ -126,6 +130,8 @@ let create ~size_kb ~assoc ~line_bytes =
     clock = 0;
     hits = 0;
     misses = 0;
+    memo_hits = 0;
+    filter_hits = 0;
     fastpath = Atomic.get fastpath_default;
     memo_laddr0 = min_int;
     memo_set0 = -1;
@@ -251,6 +257,7 @@ let access_line cache addr ~owner ~write ~allocate =
        )
   then begin
     cache.hits <- cache.hits + 1;
+    cache.memo_hits <- cache.memo_hits + 1;
     Hit
   end
   else begin
@@ -266,7 +273,10 @@ let access_line cache addr ~owner ~write ~allocate =
        candidate is *the* matching way. *)
     let idx =
       let w = base + Array.unsafe_get cache.mru_way set in
-      if Array.unsafe_get tags w = laddr && line_valid cache w then w
+      if Array.unsafe_get tags w = laddr && line_valid cache w then begin
+        cache.filter_hits <- cache.filter_hits + 1;
+        w
+      end
       else scan_set cache.valid tags laddr limit base
     in
     (* Invariant for the unsafe accessors below: [0 <= set < nsets] and
@@ -326,7 +336,11 @@ let[@inline always] memo_probe cache addr ~owner ~write =
   (laddr = cache.memo_laddr0 && (not write || owner = cache.memo_owner0))
   || (laddr = cache.memo_laddr1 && (not write || owner = cache.memo_owner1))
 
-let add_hits cache n = cache.hits <- cache.hits + n
+(* Batched memo-probe credits from the fast tier: every batched hit took
+   (would have taken) the memo layer. *)
+let add_hits cache n =
+  cache.hits <- cache.hits + n;
+  cache.memo_hits <- cache.memo_hits + n
 let access ?(owner = committed_owner) ?(write = false) ?(allocate = true) cache
     addr =
   access_line cache addr ~owner ~write ~allocate
@@ -470,6 +484,8 @@ let snapshot_canonical cache =
 
 let hits cache = cache.hits
 let misses cache = cache.misses
+let memo_hits cache = cache.memo_hits
+let filter_hits cache = cache.filter_hits
 
 let valid_lines cache =
   let count = ref 0 in
@@ -483,16 +499,23 @@ let valid_lines cache =
 let record_telemetry cache sink ~prefix =
   Telemetry.count sink (prefix ^ ".hits") cache.hits;
   Telemetry.count sink (prefix ^ ".misses") cache.misses;
+  Telemetry.count sink (prefix ^ ".memo_hits") cache.memo_hits;
+  Telemetry.count sink (prefix ^ ".filter_hits") cache.filter_hits;
   let total = cache.hits + cache.misses in
-  if total > 0 then
+  if total > 0 then begin
     Telemetry.gauge sink (prefix ^ ".hit_rate")
       (float_of_int cache.hits /. float_of_int total);
+    Telemetry.gauge sink (prefix ^ ".memo_hit_rate")
+      (float_of_int cache.memo_hits /. float_of_int total)
+  end;
   Telemetry.gauge sink (prefix ^ ".occupancy")
     (float_of_int (valid_lines cache) /. float_of_int (line_count cache))
 
 let reset_stats cache =
   cache.hits <- 0;
-  cache.misses <- 0
+  cache.misses <- 0;
+  cache.memo_hits <- 0;
+  cache.filter_hits <- 0
 
 let clear cache =
   Bytes.fill cache.valid 0 (line_count cache) '\000';

@@ -100,6 +100,14 @@ val snapshot_canonical : t -> (int * bool * int * int) array
 val hits : t -> int
 val misses : t -> int
 
+(** Hits served by the MRU line memo, including batched {!memo_probe} +
+    {!add_hits} credits from the fast tier. A subset of {!hits}. *)
+val memo_hits : t -> int
+
+(** Associative-walk hits resolved by the verified direct-mapped tag filter.
+    A subset of {!hits}, disjoint from {!memo_hits}. *)
+val filter_hits : t -> int
+
 (** Number of valid lines currently installed. *)
 val valid_lines : t -> int
 

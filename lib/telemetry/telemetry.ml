@@ -293,6 +293,116 @@ let to_json t =
       ("trace_dropped", string_of_int t.trace_dropped);
     ]
 
+(* ---- Prometheus text exposition (DESIGN.md §15) -------------------------- *)
+
+(* Metric names: Prometheus allows [a-zA-Z_:][a-zA-Z0-9_:]*; every sink key
+   maps through a "pexp_" prefix with non-conforming characters folded to
+   '_'. The mapping can collide ("a.b" and "a-b"), in which case the two
+   series merge under one name — acceptable for the dotted names this
+   codebase uses, which never differ only by separator. *)
+let prom_name name =
+  let b = Buffer.create (String.length name + 8) in
+  Buffer.add_string b "pexp_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let prom_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+(* One run's metrics in the Prometheus text exposition format, deterministic
+   (sorted names, fixed float formatting), labelled {run="<label>"} so a
+   server can expose many runs side by side. Counters and gauges map
+   directly; timers expose accumulated seconds and invocation counts;
+   log-bucketed histograms become cumulative-bucket histogram series with
+   upper bounds at the bucket range tops. The span trace is not exposed —
+   it is a debugging artifact, not a metric. *)
+let to_prometheus t =
+  let b = Buffer.create 4096 in
+  let run_label =
+    if t.label = "" then "" else Printf.sprintf "{run=\"%s\"}" (prom_label_value t.label)
+  in
+  let series ?(labels = run_label) name typ value =
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ);
+    Buffer.add_string b (Printf.sprintf "%s%s %s\n" name labels value)
+  in
+  List.iter
+    (fun (k, r) -> series (prom_name k) "counter" (string_of_int !r))
+    (sorted_bindings t.counters);
+  List.iter
+    (fun (k, r) -> series (prom_name k) "gauge" (jfloat !r))
+    (sorted_bindings t.gauges);
+  List.iter
+    (fun (k, h) ->
+      if h.h_count > 0 then begin
+        let name = prom_name k in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" name);
+        let cum = ref 0 in
+        for i = 0 to hist_bucket_count - 1 do
+          if h.h_buckets.(i) > 0 then begin
+            cum := !cum + h.h_buckets.(i);
+            (* bucket i covers up to 2^i - 1 (bucket 0: values <= 0) *)
+            let le = if i = 0 then 0 else (1 lsl i) - 1 in
+            let labels =
+              if t.label = "" then Printf.sprintf "{le=\"%d\"}" le
+              else
+                Printf.sprintf "{run=\"%s\",le=\"%d\"}"
+                  (prom_label_value t.label) le
+            in
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" name labels !cum)
+          end
+        done;
+        let labels =
+          if t.label = "" then "{le=\"+Inf\"}"
+          else Printf.sprintf "{run=\"%s\",le=\"+Inf\"}" (prom_label_value t.label)
+        in
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket%s %d\n" name labels h.h_count);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %d\n" name run_label h.h_sum);
+        Buffer.add_string b
+          (Printf.sprintf "%s_count%s %d\n" name run_label h.h_count)
+      end)
+    (sorted_bindings t.hists);
+  List.iter
+    (fun (k, tm) ->
+      let name = prom_name k in
+      series (name ^ "_seconds_total") "counter" (jfloat tm.total_s);
+      series (name ^ "_invocations_total") "counter" (string_of_int tm.count))
+    (sorted_bindings t.timers);
+  Buffer.contents b
+
+(* ---- Reset --------------------------------------------------------------- *)
+
+(* Return the sink to its just-created state (label kept): the snapshot-
+   isolation contract for reusing one sink across runs. Per-machine sinks
+   are fresh by construction ([Machine.create] allocates one per machine),
+   so this exists for callers that deliberately reuse a sink — and for the
+   regression test pinning that counters never bleed across runs. *)
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.hists;
+  Hashtbl.reset t.timers;
+  t.trace <- [];
+  t.trace_len <- 0;
+  t.trace_dropped <- 0;
+  t.depth <- 0
+
 (* ---- Aggregation over a sweep ------------------------------------------- *)
 
 type dist = { sum : float; min_v : float; max_v : float; n : int }

@@ -87,6 +87,20 @@ val timer_total : t -> string -> float
 (** One run's telemetry as a single-line JSON object, keys sorted. *)
 val to_json : t -> string
 
+(** One run's metrics in the Prometheus text exposition format:
+    deterministic (sorted names, fixed float formatting), every series
+    labelled [{run="<label>"}]. Counters and gauges map directly; timers
+    become [_seconds_total]/[_invocations_total] counters; log-bucketed
+    histograms become cumulative-bucket histogram series. The span trace is
+    not exposed. *)
+val to_prometheus : t -> string
+
+(** Drop every metric and the span trace, returning the sink to its
+    just-created state (label kept). Counter and histogram handles resolved
+    before the reset are invalidated — adds through them would mutate
+    detached cells — so re-resolve handles after resetting. *)
+val reset : t -> unit
+
 (** Aggregate many per-run sinks: counters and gauges become
     sum/mean/min/max/runs distributions; timers sum totals and counts. *)
 val aggregate_json : t list -> string

@@ -21,4 +21,5 @@ let () =
       ("cache-properties", Test_cache_props.tests);
       ("cache-fastpath", Test_cache_fastpath.tests);
       ("properties", Test_props.tests);
+      ("obs", Test_obs.tests);
     ]
